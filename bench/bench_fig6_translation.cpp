@@ -1,0 +1,57 @@
+// Fig. 6: computational efficiency with vs without predictive address
+// translation (the mATLB of Section IV.A).
+//
+// Setup mirrors the paper: one compute node, FP64 HPL-style square GEMMs,
+// 4 KiB pages, first-level tiling <Tr,Tc> = <1024,1024>, second-level
+// <ttr,ttc> = <64,64>, sizes 256..9216. "Without prediction" makes every
+// sTLB miss a blocking page-table walk on the DMA stream; "with" lets the
+// mATLB walk ahead during the previous tile's compute.
+#include <iostream>
+
+#include "core/timing_model.hpp"
+#include "util/table.hpp"
+#include "workloads/gemm_workload.hpp"
+
+int main() {
+  using namespace maco;
+
+  const core::SystemTimingModel model(core::SystemConfig::maco_default());
+
+  util::Table t({"Matrix size", "With prediction", "Without prediction",
+                 "Gap", "sTLB walks/tile", "Paper gap"});
+  const char* paper_gap[] = {"<2%", "~2.6%", "6.5% (max)", "6.3%", "6.3%",
+                             "6.3%"};
+  std::size_t row = 0;
+
+  for (const std::uint64_t size : wl::fig6_sizes()) {
+    core::TimingOptions with;
+    with.shape = sa::TileShape{size, size, size};
+    with.precision = sa::Precision::kFp64;
+    with.active_nodes = 1;
+    with.tile_rows = 1024;
+    with.tile_cols = 1024;
+    with.inner = 64;
+    core::TimingOptions without = with;
+    without.use_matlb = false;
+
+    const core::SystemTiming timing_with = model.run(with);
+    const core::SystemTiming timing_without = model.run(without);
+    const double gap =
+        timing_with.mean_efficiency - timing_without.mean_efficiency;
+
+    t.row()
+        .cell(std::to_string(size))
+        .percent(timing_with.mean_efficiency)
+        .percent(timing_without.mean_efficiency)
+        .percent(gap)
+        .cell(timing_without.translation.walks_per_tile, 1)
+        .cell(paper_gap[row++]);
+  }
+  t.print(std::cout,
+          "Fig. 6: MACO with/without page-table address prediction "
+          "(single node, FP64, 4 KiB pages, T=<1024,1024>, tt=<64,64>)");
+  std::cout << "\nShape checks: gap < 2% below the sTLB-reach knee (256/512),"
+               "\n  maximum near 1024, ~6.3% plateau beyond (paper: max 6.5%"
+               " at 1024).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 7: scalability — average computational efficiency per compute node
+// as the active node count grows (1/2/4/8/16), across matrix sizes
+// 256..9216.
+//
+// As in the paper, every active node runs an independent FP64 GEMM of the
+// given size (no inter-node cooperation); the shared resources — L3 slice
+// capacity, mesh links, DDR channels — are what couple them.
+#include <iostream>
+
+#include "core/timing_model.hpp"
+#include "util/table.hpp"
+#include "workloads/gemm_workload.hpp"
+
+int main() {
+  using namespace maco;
+
+  const core::SystemTimingModel model(core::SystemConfig::maco_default());
+  const unsigned node_counts[] = {1, 2, 4, 8, 16};
+
+  util::Table t({"Matrix size", "Single-core", "Dual-core", "Quad-core",
+                 "Octa-core", "Hexadeca-core"});
+
+  double sum[5] = {};
+  std::size_t rows = 0;
+  for (const std::uint64_t size : wl::fig7_sizes()) {
+    auto row = t.row();
+    row.cell(std::to_string(size));
+    for (std::size_t i = 0; i < 5; ++i) {
+      core::TimingOptions options;
+      options.shape = sa::TileShape{size, size, size};
+      options.precision = sa::Precision::kFp64;
+      options.active_nodes = node_counts[i];
+      options.cooperative = false;  // independent workload per node
+      const double eff = model.run(options).mean_efficiency;
+      row.percent(eff);
+      sum[i] += eff;
+    }
+    ++rows;
+  }
+  {
+    auto row = t.row();
+    row.cell("average");
+    for (std::size_t i = 0; i < 5; ++i) {
+      row.percent(sum[i] / static_cast<double>(rows));
+    }
+  }
+  t.print(std::cout,
+          "Fig. 7: per-node computational efficiency vs active node count "
+          "(independent FP64 GEMM per node)");
+  std::cout << "\nShape checks: multi-node loss concentrated at 16 nodes on"
+               "\n  large matrices (shared-memory-system ceiling); paper"
+               " reports ~10% loss\n  and ~90% average efficiency across"
+               " all test cases.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table IV: CPU core vs MMAE — frequency, area, power, FMACs, peak
+// performance, plus the MMAE area breakdown footnote and the ratios the
+// paper argues from (25% relative area, 9x GFLOPS/mm2, 2x GFLOPS/W).
+//
+// All values come from the analytic area/power model whose unit constants
+// are calibrated once against the paper's published totals (see
+// model/area_power.hpp); the ratios are then derived, not restated.
+#include <cstdio>
+#include <iostream>
+
+#include "model/area_power.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace maco;
+
+  const model::AreaPowerModel m;
+  const model::UnitSummary cpu = m.cpu_summary();
+  const model::UnitSummary mmae = m.mmae_summary();
+
+  util::Table t({"Unit", "Freq (GHz)", "Area (mm2)", "Power (W)", "FMACs",
+                 "Peak Perf (GFLOPS)"});
+  t.row()
+      .cell("CPU")
+      .cell(cpu.frequency_ghz, 1)
+      .cell(cpu.area_mm2, 2)
+      .cell(cpu.power_watts, 2)
+      .cell(static_cast<int>(cpu.fmacs))
+      .cell(util::format_double(cpu.peak_gflops_fp64, 1) + " (FP64) / " +
+            util::format_double(cpu.peak_gflops_fp32, 0) + " (FP32)");
+  t.row()
+      .cell("MMAE")
+      .cell(mmae.frequency_ghz, 1)
+      .cell(mmae.area_mm2, 2)
+      .cell(mmae.power_watts, 2)
+      .cell(static_cast<int>(mmae.fmacs))
+      .cell(util::format_double(mmae.peak_gflops_fp64, 0) + " (FP64) / " +
+            util::format_double(mmae.peak_gflops_fp32, 0) + " (FP32) / " +
+            util::format_double(mmae.peak_gflops_fp16, 0) + " (FP16)");
+  t.print(std::cout, "Table IV: comparison of the CPU core and MMAE");
+  std::puts("  (paper: CPU 2.2 GHz / 6.25 mm2 / 2.0 W / 8 FMACs / 35.2/71;"
+            " MMAE 2.5 GHz / 1.58 mm2 / 1.5 W / 16 FMACs / 80/160/320)\n");
+
+  const model::AreaBreakdown area = m.mmae_area(model::MmaeParams{});
+  util::Table b({"MMAE component", "Area (mm2)", "Share"});
+  b.row().cell("Buffers").cell(area.buffers_mm2, 3).percent(
+      area.buffers_fraction());
+  b.row().cell("Systolic array").cell(area.sa_mm2, 3).percent(
+      area.sa_fraction());
+  b.row().cell("Accelerator controller").cell(area.ac_mm2, 3).percent(
+      area.ac_fraction());
+  b.row().cell("Accelerator data engine").cell(area.ade_mm2, 3).percent(
+      area.ade_fraction());
+  b.print(std::cout, "Table IV footnote: MMAE area breakdown");
+  std::puts("  (paper: Buffers 36.7%, SA 24.7%, AC 23.4%, ADE 15.8%)\n");
+
+  util::Table r({"Derived ratio", "Model", "Paper"});
+  r.row()
+      .cell("MMAE area / CPU area")
+      .percent(mmae.area_mm2 / cpu.area_mm2)
+      .cell("25%");
+  r.row()
+      .cell("MMAE peak / CPU peak (FP64)")
+      .cell(mmae.peak_gflops_fp64 / cpu.peak_gflops_fp64, 2)
+      .cell("over 2x");
+  r.row()
+      .cell("area efficiency ratio (GFLOPS/mm2)")
+      .cell(mmae.area_efficiency() / cpu.area_efficiency(), 2)
+      .cell("9x");
+  r.row()
+      .cell("power efficiency ratio (GFLOPS/W)")
+      .cell(mmae.power_efficiency() / cpu.power_efficiency(), 2)
+      .cell("2x (see EXPERIMENTS.md)");
+  r.row()
+      .cell("MMAE power reduction vs CPU")
+      .percent(1.0 - mmae.power_watts / cpu.power_watts)
+      .cell("25% lower");
+  r.print(std::cout, "Ratios the paper argues from");
+  return 0;
+}

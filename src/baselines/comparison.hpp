@@ -1,0 +1,72 @@
+// Fig. 8 comparison harness.
+//
+// Five systems run the same DNN GEMM workloads at the same PE count
+// (16×16 = 256 PEs, i.e. 16 nodes × 16 FMACs, one FP32 MAC per PE — the
+// paper's normalization):
+//
+//   Baseline-1  MACO with CPU only: GEMMs on the cores' vector units.
+//   Baseline-2  MACO with MMAEs but without the §IV.B mapping scheme:
+//               no stash/lock (operands stream from DRAM) and no
+//               CPU/MMAE software pipelining (post-ops serialize).
+//   Gem5-RASA   tightly-coupled matrix engine: shares the core's DTLB
+//               (48-entry reach) and LSU path, partial compute/DMA overlap
+//               from its sub-stage pipelining, no CPU post-op concurrency.
+//   Gemmini     loosely-coupled engine: own DMA but blocking TLB with cold
+//               page-table walks, no stash/lock, fence-style sync,
+//               post-ops serialized on the CPU.
+//   MACO        full system: mATLB + stash/lock + GEMM+ pipelining.
+//
+// Every system is a parameterization of core::SystemTimingModel plus the
+// CPU kernel models — no ratio is hard-coded.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+#include "workloads/gemm_workload.hpp"
+
+namespace maco::baseline {
+
+struct ComparisonResult {
+  std::string system;
+  std::string workload;
+  double gflops = 0.0;
+  double efficiency = 0.0;  // vs the system's own peak at this PE count
+  sim::TimePs time_ps = 0;
+};
+
+class Comparator {
+ public:
+  explicit Comparator(const core::SystemConfig& config, unsigned nodes = 16);
+
+  ComparisonResult run_maco(const wl::Workload& workload) const;
+  ComparisonResult run_baseline1_cpu_only(const wl::Workload& workload) const;
+  ComparisonResult run_baseline2_no_mapping(const wl::Workload& workload) const;
+  ComparisonResult run_rasa_like(const wl::Workload& workload) const;
+  ComparisonResult run_gemmini_like(const wl::Workload& workload) const;
+
+  // All five, in the paper's Fig. 8 order.
+  std::vector<ComparisonResult> run_all(const wl::Workload& workload) const;
+
+  // Accelerated peak at the normalized PE count (FLOP/s).
+  double accelerator_peak_flops() const noexcept;
+  double cpu_peak_flops(sa::Precision precision) const noexcept;
+
+  // Shared plumbing for the accelerated systems.
+  ComparisonResult run_accelerated(const wl::Workload& workload,
+                                   std::string system,
+                                   core::TimingOptions options,
+                                   bool overlap_post_ops) const;
+  sim::TimePs post_op_time_ps(const wl::Layer& layer,
+                              sa::Precision precision) const;
+  sim::TimePs stash_time_ps(const wl::Layer& layer,
+                            sa::Precision precision) const;
+
+ private:
+  core::SystemConfig config_;
+  unsigned nodes_;
+};
+
+}  // namespace maco::baseline

@@ -1,0 +1,30 @@
+// Gemmini-like loosely-coupled configuration.
+//
+// Gemmini (Genc et al., DAC'21) couples one 16x16 systolic array (the
+// paper's equal-PE normalization) to a single host core: the engine has
+// its own DMA on one memory port, translates through a modest accelerator
+// TLB whose misses walk via the host PTW (page-walk caches keep the leaves
+// warm, but each walk blocks the stream), has no stash/lock scheme, and
+// synchronizes with RoCC fences. The single shared accelerator context
+// serializes CPU post-ops behind each GEMM.
+#include "baselines/comparison.hpp"
+
+namespace maco::baseline {
+
+ComparisonResult Comparator::run_gemmini_like(
+    const wl::Workload& workload) const {
+  core::TimingOptions options;
+  options.active_nodes = 1;            // one host core + one accelerator
+  options.sa_rows_override = 16;       // one 16x16 array (256 PEs)
+  options.sa_cols_override = 16;
+  options.inner = 128;                 // scratchpad-sized blocking
+  options.use_matlb = false;
+  options.use_stash_lock = false;
+  options.tlb_entries_override = 512;  // accelerator TLB + host L2 TLB reach
+  options.pte_walks_warm = true;       // walks via host PTW with PWC
+  options.sync_overhead_per_tile_ps = 400;  // fence/RoCC round trip, amortized
+  return run_accelerated(workload, "Gemmini", options,
+                         /*overlap=*/false);
+}
+
+}  // namespace maco::baseline

@@ -1,0 +1,19 @@
+// Baseline-2: MACO hardware without the Section IV.B mapping scheme —
+// no stash/lock (tile operands are latency-bound DRAM round trips instead
+// of locked L3 hits) and no CPU/MMAE software pipelining (non-GEMM stages
+// serialize behind their GEMMs).
+#include "baselines/comparison.hpp"
+
+namespace maco::baseline {
+
+ComparisonResult Comparator::run_baseline2_no_mapping(
+    const wl::Workload& workload) const {
+  core::TimingOptions options;
+  options.active_nodes = nodes_;
+  options.use_matlb = true;      // the mATLB is architecture, not mapping
+  options.use_stash_lock = false;
+  return run_accelerated(workload, "Baseline-2", options,
+                         /*overlap=*/false);
+}
+
+}  // namespace maco::baseline

@@ -1,0 +1,30 @@
+// Gem5-RASA-like tightly-coupled configuration.
+//
+// RASA (Jeong et al., DAC'21) places one 16x16 matrix engine inside a CPU
+// core's pipeline (the paper's equal-PE normalization): engine traffic
+// moves through the core's load/store path (a fraction of a dedicated DMA's
+// bandwidth), translation rides the core MMU — page-walk caches keep walks
+// warm, but every walk still blocks the in-order load stream — and
+// sub-stage pipelining overlaps compute with loads only partially. The
+// core cannot run the non-GEMM stages concurrently with its own engine.
+#include "baselines/comparison.hpp"
+
+namespace maco::baseline {
+
+ComparisonResult Comparator::run_rasa_like(
+    const wl::Workload& workload) const {
+  core::TimingOptions options;
+  options.active_nodes = 1;            // single core + in-pipeline engine
+  options.sa_rows_override = 16;       // one 16x16 array (256 PEs)
+  options.sa_cols_override = 16;
+  options.inner = 128;                 // register-tile blocking (their §III)
+  options.use_matlb = false;
+  options.use_stash_lock = false;
+  options.pte_walks_warm = true;       // core MMU page-walk caches
+  options.engine_overlap = 0.75;       // sub-stage pipelining (their §IV)
+  options.dma_bandwidth_scale = 0.85;  // through the core's LSU/L2 port
+  return run_accelerated(workload, "Gem5-RASA", options,
+                         /*overlap=*/false);
+}
+
+}  // namespace maco::baseline

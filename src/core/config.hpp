@@ -1,0 +1,76 @@
+// System-level configuration: the paper's published parameters (Table I,
+// Table IV, Section III.A) plus the calibrated model constants DESIGN.md
+// documents. Everything a bench varies lives here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/core.hpp"
+#include "mem/directory.hpp"
+#include "mem/dram.hpp"
+#include "mmae/accelerator_controller.hpp"
+#include "noc/link_load_model.hpp"
+#include "noc/mesh.hpp"
+#include "sa/types.hpp"
+
+namespace maco::core {
+
+struct SystemConfig {
+  unsigned node_count = 16;  // up to 16 homogeneous compute nodes
+  cpu::CpuConfig cpu{};
+  mmae::MmaeConfig mmae{};
+  noc::MeshConfig mesh{};            // flit-level validation network
+  noc::LinkLoadConfig link_load{};   // analytic contention model
+  unsigned ccm_count = 16;           // one L3 slice per mesh node
+  mem::CcmConfig ccm{};
+  unsigned dram_channels = 4;
+  mem::DramConfig dram{};
+
+  // Fast-model latency constants (calibrated; see DESIGN.md §5).
+  sim::TimePs noc_hop_ps = 500;            // one NoC cycle per hop
+  sim::TimePs pte_cold_latency_ps = 80'000;  // leaf PTE read when the page
+                                             // table line is cold (DRAM)
+  sim::TimePs pte_warm_latency_ps = 14'000;  // leaf PTE read hitting L3
+  // Unhideable pipeline bubble per blocking walk when translation is NOT
+  // predicted: the A-operand stream stalls the array until the walk's
+  // address resolves; address-ahead issue recovers all but this residue.
+  // Calibrated against Fig. 6's 6.3-6.5% plateau.
+  sim::TimePs pte_exposed_bubble_ps = 6'500;
+  // Sustained fraction of DDR pin bandwidth (row misses, refresh, rw
+  // turnaround). Total effective supply = channels * bw * efficiency.
+  double dram_efficiency = 0.72;
+  // Mesh positions of the DDR controllers (edge nodes), for NoC fill flows.
+  std::array<noc::NodeId, 4> dram_node_ids{0, 3, 12, 15};
+  // Without stash+lock, tile reads are latency-bound DRAM round trips; the
+  // DMA queues are sized to the array they feed, so sustainable bandwidth
+  // is (PEs * inflight-bytes-per-PE) / loaded round trip.
+  unsigned dma_inflight_bytes_per_pe = 32;
+  double dram_row_miss_factor = 1.5;  // strided tile rows reopen DRAM rows
+
+  // ---- derived quantities ----
+  double mmae_peak_macs(sa::Precision p) const noexcept {
+    return mmae.frequency_hz * mmae.sa.rows * mmae.sa.cols * sa::simd_ways(p);
+  }
+  double mmae_peak_flops(sa::Precision p) const noexcept {
+    return 2.0 * mmae_peak_macs(p);
+  }
+  double cpu_peak_flops(sa::Precision p) const noexcept {
+    return 2.0 * cpu.frequency_hz * cpu.kernels.macs_per_cycle(p);
+  }
+  std::uint64_t l3_total_bytes() const noexcept {
+    return static_cast<std::uint64_t>(ccm_count) * ccm.l3.size_bytes;
+  }
+  double dram_total_bandwidth() const noexcept {
+    return dram_channels * dram.bandwidth_bytes_per_second;
+  }
+  // Per-direction NoC link bandwidth (256-bit @ 2 GHz = 64 GB/s).
+  double node_link_bandwidth() const noexcept {
+    return link_load.link_bytes_per_second;
+  }
+
+  // The paper's configuration.
+  static SystemConfig maco_default();
+};
+
+}  // namespace maco::core

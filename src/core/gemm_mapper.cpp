@@ -1,0 +1,69 @@
+#include "core/gemm_mapper.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::core {
+
+std::pair<unsigned, unsigned> choose_grid(unsigned nodes) {
+  MACO_ASSERT_MSG(nodes > 0, "grid for zero nodes");
+  unsigned best_r = 1;
+  for (unsigned r = 1; r * r <= nodes; ++r) {
+    if (nodes % r == 0) best_r = r;
+  }
+  return {best_r, nodes / best_r};
+}
+
+std::vector<NodePlan> partition_gemm(std::uint64_t m, std::uint64_t n,
+                                     std::uint64_t k, unsigned nodes,
+                                     std::uint64_t tile_rows,
+                                     std::uint64_t tile_cols) {
+  MACO_ASSERT(m > 0 && n > 0 && k > 0 && nodes > 0);
+  const auto [grid_rows, grid_cols] = choose_grid(nodes);
+
+  // Row/column block boundaries: as even as possible.
+  auto boundaries = [](std::uint64_t extent, unsigned parts) {
+    std::vector<std::uint64_t> b(parts + 1, 0);
+    for (unsigned i = 0; i <= parts; ++i) {
+      b[i] = extent * i / parts;
+    }
+    return b;
+  };
+  const auto row_b = boundaries(m, grid_rows);
+  const auto col_b = boundaries(n, grid_cols);
+
+  std::vector<NodePlan> plans;
+  plans.reserve(nodes);
+  for (unsigned gr = 0; gr < grid_rows; ++gr) {
+    for (unsigned gc = 0; gc < grid_cols; ++gc) {
+      NodePlan plan;
+      plan.node = static_cast<int>(gr * grid_cols + gc);
+      plan.row_begin = row_b[gr];
+      plan.row_end = row_b[gr + 1];
+      plan.col_begin = col_b[gc];
+      plan.col_end = col_b[gc + 1];
+      for (std::uint64_t r = plan.row_begin; r < plan.row_end;
+           r += tile_rows) {
+        const std::uint64_t rows = std::min(tile_rows, plan.row_end - r);
+        for (std::uint64_t c = plan.col_begin; c < plan.col_end;
+             c += tile_cols) {
+          const std::uint64_t cols = std::min(tile_cols, plan.col_end - c);
+          plan.c_tiles.push_back(vm::TileDesc{r, c, rows, cols});
+          plan.macs += rows * cols * k;
+        }
+      }
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+std::uint64_t critical_path_macs(const std::vector<NodePlan>& plan) {
+  std::uint64_t peak = 0;
+  for (const auto& p : plan) peak = std::max(peak, p.macs);
+  return peak;
+}
+
+}  // namespace maco::core

@@ -1,0 +1,43 @@
+// Multi-node GEMM mapping (paper Section IV.B, Fig. 5).
+//
+// The original matrices are tiled and the resulting C sub-matrices are
+// assigned to compute nodes: node (gr, gc) of a gr×gc grid owns the C tiles
+// whose (row-block, col-block) falls in its stripe. A row of the grid shares
+// A panels; a column shares B panels — the stash requests each node issues
+// therefore overlap, and the CCM's L3 serves the shared panels once.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sa/latency_model.hpp"
+#include "vm/layout.hpp"
+
+namespace maco::core {
+
+struct NodePlan {
+  int node = 0;
+  std::vector<vm::TileDesc> c_tiles;  // output tiles this node computes
+  std::uint64_t macs = 0;             // total useful work assigned
+
+  // The A rows / B cols this node touches (for stash planning).
+  std::uint64_t row_begin = 0, row_end = 0;
+  std::uint64_t col_begin = 0, col_end = 0;
+};
+
+// Picks the most square gr×gc factorization of `nodes` (gr <= gc).
+std::pair<unsigned, unsigned> choose_grid(unsigned nodes);
+
+// Partitions C (m×n, K-depth k) over `nodes` compute nodes in 2D blocks of
+// at most tile_rows×tile_cols (first-level tiles). Every element of C is
+// covered exactly once; work imbalance is at most one tile row/column.
+std::vector<NodePlan> partition_gemm(std::uint64_t m, std::uint64_t n,
+                                     std::uint64_t k, unsigned nodes,
+                                     std::uint64_t tile_rows = 1024,
+                                     std::uint64_t tile_cols = 1024);
+
+// Largest per-node MAC count over the plan (the parallel critical path).
+std::uint64_t critical_path_macs(const std::vector<NodePlan>& plan);
+
+}  // namespace maco::core

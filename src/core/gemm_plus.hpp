@@ -1,0 +1,38 @@
+// GEMM+ scheduling (paper Section IV.B, Fig. 5(c)).
+//
+// Real workloads interleave GEMM layers with non-GEMM work (softmax,
+// layernorm, activations). MACO's mapping scheme software-pipelines them:
+// while the MMAE computes GEMM tile i, the CPU runs the non-GEMM stage of
+// tile i-1, and stash requests prefetch tile i+1's operands into the L3.
+// Baseline-2 is the same machine without this scheme: stages serialize and
+// operands stream from DRAM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace maco::core {
+
+struct GemmPlusStage {
+  sim::TimePs gemm_ps = 0;      // MMAE time for this stage's GEMM
+  sim::TimePs cpu_post_ps = 0;  // CPU time for the stage's non-GEMM work
+  sim::TimePs stash_ps = 0;     // prefetch time for the next stage's data
+};
+
+struct GemmPlusResult {
+  sim::TimePs total_ps = 0;
+  sim::TimePs mmae_busy_ps = 0;
+  sim::TimePs cpu_busy_ps = 0;
+  // Fraction of CPU work hidden under MMAE compute (1.0 = fully overlapped).
+  double overlap_fraction = 0.0;
+};
+
+// Pipelined schedule: stage i's GEMM overlaps stage i-1's post-processing
+// and stage i+1's stash. Serial schedule (overlap = false): each stage is
+// gemm -> post, back to back, and stash time is charged up front.
+GemmPlusResult schedule_gemm_plus(const std::vector<GemmPlusStage>& stages,
+                                  bool overlap);
+
+}  // namespace maco::core

@@ -1,0 +1,247 @@
+#include "core/maco_system.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::core {
+
+// ---------------- SystemMemoryBackend ----------------
+
+sim::TimePs SystemMemoryBackend::transfer(int node, vm::PhysAddr pa,
+                                          std::uint32_t bytes,
+                                          mem::CcmReqType type, bool lock,
+                                          sim::TimePs start) {
+  // Serialize on the node's injection port at link bandwidth.
+  sim::TimePs& port_free = system_.node_port_free(node);
+  sim::TimePs t = std::max(start, port_free);
+  const double bw = system_.node_link_bandwidth();
+  const auto wire_ps = static_cast<sim::TimePs>(
+      static_cast<double>(bytes) / bw * 1e12);
+
+  // Line-granular CCM transactions; the slowest line bounds completion
+  // (lines pipeline through the network back to back).
+  sim::TimePs ready = t;
+  const std::uint64_t first = mem::line_addr(pa);
+  const std::uint64_t last = mem::line_addr(pa + bytes - 1);
+  for (std::uint64_t line = first; line <= last; line += mem::kLineBytes) {
+    mem::DirectoryCcm& ccm = system_.ccm_for(line);
+    const unsigned home = system_.ccm_home_node(line);
+    mem::CcmRequest request;
+    request.type = (type == mem::CcmReqType::kStash && lock)
+                       ? mem::CcmReqType::kStashLock
+                       : type;
+    // Stores covering a whole line stream without a fetch (the DMA writes
+    // every byte, so read-for-ownership data would be thrown away).
+    if (type == mem::CcmReqType::kGetM && line >= pa &&
+        line + mem::kLineBytes <= pa + bytes) {
+      request.type = mem::CcmReqType::kPutFull;
+    }
+    request.node = node;
+    request.addr = line;
+    const mem::CcmResponse response = ccm.handle(request, t);
+    const sim::TimePs line_ready =
+        t + system_.noc_round_trip_ps(node, home) + response.latency;
+    ready = std::max(ready, line_ready);
+  }
+  port_free = t + wire_ps;
+  return std::max(ready, port_free);
+}
+
+sim::TimePs SystemMemoryBackend::read(int node, vm::PhysAddr pa, void* out,
+                                      std::uint32_t bytes, sim::TimePs start) {
+  system_.memory().read(pa, out, bytes);
+  return transfer(node, pa, bytes, mem::CcmReqType::kGetS, false, start);
+}
+
+sim::TimePs SystemMemoryBackend::write(int node, vm::PhysAddr pa,
+                                       const void* data, std::uint32_t bytes,
+                                       sim::TimePs start) {
+  system_.memory().write(pa, data, bytes);
+  return transfer(node, pa, bytes, mem::CcmReqType::kGetM, false, start);
+}
+
+sim::TimePs SystemMemoryBackend::stash(int node, vm::PhysAddr pa,
+                                       std::uint32_t bytes, bool lock,
+                                       sim::TimePs start) {
+  return transfer(node, pa, bytes, mem::CcmReqType::kStash, lock, start);
+}
+
+// ---------------- WalkMemoryOracle ----------------
+
+sim::TimePs WalkMemoryOracle::read_latency(vm::PhysAddr addr,
+                                           std::uint32_t /*bytes*/) {
+  mem::DirectoryCcm& ccm = system_.ccm_for(addr);
+  const unsigned home = system_.ccm_home_node(addr);
+  mem::CcmRequest request;
+  request.type = mem::CcmReqType::kGetS;
+  request.node = node_;
+  request.addr = mem::line_addr(addr);
+  // The walker has no notion of current time, so the PTE read must not
+  // book the shared DRAM bus (a stale timestamp would surface the bus
+  // backlog as walk latency); it still updates L3 state, so page-table
+  // locality emerges across walks.
+  const mem::CcmResponse response =
+      ccm.handle(request, 0, /*queue_dram=*/false);
+  return system_.noc_round_trip_ps(node_, home) + response.latency;
+}
+
+// ---------------- MacoSystem ----------------
+
+MacoSystem::MacoSystem(const SystemConfig& config) : config_(config) {
+  backend_ = std::make_unique<SystemMemoryBackend>(*this);
+
+  drams_.reserve(config_.dram_channels);
+  for (unsigned ch = 0; ch < config_.dram_channels; ++ch) {
+    drams_.push_back(std::make_unique<mem::DramController>(
+        "dram" + std::to_string(ch), config_.dram));
+  }
+
+  ccms_.reserve(config_.ccm_count);
+  // Addresses interleave across slices at line granularity; tell the slice
+  // so it strips those bits before set indexing.
+  config_.ccm.slice_interleave = config_.ccm_count;
+  for (unsigned s = 0; s < config_.ccm_count; ++s) {
+    // Channel interleaving: slice s drains to channel s % channels.
+    mem::DramController& dram = *drams_[s % config_.dram_channels];
+    ccms_.push_back(std::make_unique<mem::DirectoryCcm>(
+        "ccm" + std::to_string(s), config_.ccm, dram));
+  }
+
+  mesh_ = std::make_unique<noc::MeshNetwork>(engine_, config_.mesh);
+
+  node_port_free_.assign(config_.node_count, 0);
+  nodes_.reserve(config_.node_count);
+  walk_oracles_.reserve(config_.node_count);
+  for (unsigned n = 0; n < config_.node_count; ++n) {
+    walk_oracles_.push_back(
+        std::make_unique<WalkMemoryOracle>(*this, static_cast<int>(n)));
+    nodes_.push_back(std::make_unique<ComputeNode>(
+        engine_, static_cast<int>(n), config_.cpu, config_.mmae, *backend_,
+        memory_, *walk_oracles_.back()));
+    // Multi-process translation: the MMAE resolves page tables through the
+    // system's process registry, independent of the CPU's current context
+    // (MTQ/STQ survive process switches).
+    nodes_.back()->mmae().set_page_table_lookup(
+        [this](vm::Asid asid) -> const vm::PageTable* {
+          const auto it = processes_.find(asid);
+          return it == processes_.end() ? nullptr
+                                        : &it->second->space->page_table();
+        });
+  }
+}
+
+MacoSystem::~MacoSystem() = default;
+
+ComputeNode& MacoSystem::node(unsigned index) {
+  MACO_ASSERT_MSG(index < nodes_.size(), "node " << index);
+  return *nodes_[index];
+}
+
+Process& MacoSystem::create_process() {
+  const vm::Asid asid = next_asid_++;
+  auto process = std::make_unique<Process>();
+  process->asid = asid;
+  // Carve disjoint physical regions per process: page tables low, frames
+  // high; the sparse backing store only materializes touched pages.
+  const vm::PhysAddr pt_base =
+      0x0800'0000'0000ull + static_cast<vm::PhysAddr>(asid) * 0x0001'0000'0000ull;
+  const vm::PhysAddr frame_base =
+      0x1000'0000'0000ull + static_cast<vm::PhysAddr>(asid) * 0x0040'0000'0000ull;
+  process->space =
+      std::make_unique<vm::AddressSpace>(asid, pt_base, frame_base);
+  auto [it, inserted] = processes_.emplace(asid, std::move(process));
+  MACO_ASSERT(inserted);
+  return *it->second;
+}
+
+Process& MacoSystem::process(vm::Asid asid) {
+  const auto it = processes_.find(asid);
+  MACO_ASSERT_MSG(it != processes_.end(), "unknown ASID " << asid);
+  return *it->second;
+}
+
+void MacoSystem::schedule_process(unsigned node_index, Process& process) {
+  node(node_index).cpu().set_context(process.asid,
+                                     &process.space->page_table());
+}
+
+vm::MatrixDesc MacoSystem::alloc_matrix(Process& process, std::uint64_t rows,
+                                        std::uint64_t cols) {
+  vm::MatrixDesc desc;
+  desc.rows = rows;
+  desc.cols = cols;
+  desc.elem_bytes = sizeof(double);
+  desc.base = process.space->alloc(rows * cols * sizeof(double));
+  return desc;
+}
+
+vm::MatrixDesc MacoSystem::alloc_matrix_lazy(Process& process,
+                                             std::uint64_t rows,
+                                             std::uint64_t cols) {
+  vm::MatrixDesc desc;
+  desc.rows = rows;
+  desc.cols = cols;
+  desc.elem_bytes = sizeof(double);
+  desc.base = process.space->reserve(rows * cols * sizeof(double));
+  return desc;
+}
+
+void MacoSystem::write_matrix(Process& process, const vm::MatrixDesc& desc,
+                              const sa::HostMatrix& values) {
+  MACO_ASSERT(values.rows() == desc.rows && values.cols() == desc.cols);
+  const vm::PageTable& table = process.space->page_table();
+  for (std::uint64_t r = 0; r < desc.rows; ++r) {
+    for (std::uint64_t c = 0; c < desc.cols; ++c) {
+      const vm::VirtAddr va = desc.element_addr(r, c);
+      const auto pa = table.translate(va);
+      MACO_ASSERT_MSG(pa.has_value(), "unmapped VA in write_matrix");
+      memory_.write_f64(*pa, values.at(r, c));
+    }
+  }
+}
+
+sa::HostMatrix MacoSystem::read_matrix(Process& process,
+                                       const vm::MatrixDesc& desc) {
+  sa::HostMatrix out(desc.rows, desc.cols);
+  const vm::PageTable& table = process.space->page_table();
+  for (std::uint64_t r = 0; r < desc.rows; ++r) {
+    for (std::uint64_t c = 0; c < desc.cols; ++c) {
+      const vm::VirtAddr va = desc.element_addr(r, c);
+      const auto pa = table.translate(va);
+      MACO_ASSERT_MSG(pa.has_value(), "unmapped VA in read_matrix");
+      out.at(r, c) = memory_.read_f64(*pa);
+    }
+  }
+  return out;
+}
+
+mem::DirectoryCcm& MacoSystem::ccm_for(vm::PhysAddr pa) {
+  return *ccms_[ccm_home_node(pa)];
+}
+
+unsigned MacoSystem::ccm_home_node(vm::PhysAddr pa) const noexcept {
+  // Line-interleaved home slices spread traffic uniformly over the mesh.
+  return static_cast<unsigned>((pa / mem::kLineBytes) % config_.ccm_count);
+}
+
+mem::DramController& MacoSystem::dram_for(vm::PhysAddr pa) {
+  return *drams_[ccm_home_node(pa) % config_.dram_channels];
+}
+
+sim::TimePs MacoSystem::noc_round_trip_ps(int node, unsigned home)
+    const noexcept {
+  // X-Y hop distance in both directions at one NoC cycle per hop, plus
+  // injection/ejection cycles.
+  const unsigned width = config_.mesh.width;
+  const unsigned sx = static_cast<unsigned>(node) % width;
+  const unsigned sy = static_cast<unsigned>(node) / width;
+  const unsigned dx = home % width;
+  const unsigned dy = home / width;
+  const unsigned hops = (sx > dx ? sx - dx : dx - sx) +
+                        (sy > dy ? sy - dy : dy - sy);
+  return static_cast<sim::TimePs>(2 * (hops + 1)) * config_.noc_hop_ps;
+}
+
+}  // namespace maco::core

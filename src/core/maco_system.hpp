@@ -1,0 +1,130 @@
+// MacoSystem: the whole chip, detailed mode.
+//
+// Compute nodes, distributed L3/CCM slices, DRAM channels and the physical
+// backing store wired together. The memory backend charges NoC hop latency
+// and per-node injection-port serialization plus the CCM/DRAM costs for
+// every cache-line transfer; the flit-level mesh is instantiated alongside
+// for validation traffic. This mode runs real data end-to-end (MPAIS program
+// -> MTQ/STQ -> DMA -> systolic array -> memory) and is exercised by the
+// integration tests and examples; paper-scale sweeps use
+// core::SystemTimingModel instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compute_node.hpp"
+#include "core/config.hpp"
+#include "mem/directory.hpp"
+#include "mem/dram.hpp"
+#include "mem/physical_memory.hpp"
+#include "noc/link_load_model.hpp"
+#include "noc/mesh.hpp"
+#include "sa/host_matrix.hpp"
+#include "sim/engine.hpp"
+#include "vm/page_table.hpp"
+
+namespace maco::core {
+
+// A simulated process: ASID + address space.
+struct Process {
+  vm::Asid asid = 0;
+  std::unique_ptr<vm::AddressSpace> space;
+};
+
+class MacoSystem;
+
+// Timing+functional memory path used by the MMAEs' DMA engines.
+class SystemMemoryBackend final : public mmae::MemoryBackend {
+ public:
+  explicit SystemMemoryBackend(MacoSystem& system) : system_(system) {}
+
+  sim::TimePs read(int node, vm::PhysAddr pa, void* out, std::uint32_t bytes,
+                   sim::TimePs start) override;
+  sim::TimePs write(int node, vm::PhysAddr pa, const void* data,
+                    std::uint32_t bytes, sim::TimePs start) override;
+  sim::TimePs stash(int node, vm::PhysAddr pa, std::uint32_t bytes, bool lock,
+                    sim::TimePs start) override;
+
+ private:
+  sim::TimePs transfer(int node, vm::PhysAddr pa, std::uint32_t bytes,
+                       mem::CcmReqType type, bool lock, sim::TimePs start);
+  MacoSystem& system_;
+};
+
+// Page-table walks issued by a node's MMU: PTE reads go through the L3/CCM
+// path like any other line, so page-table locality emerges naturally.
+class WalkMemoryOracle final : public vm::MemoryLatencyOracle {
+ public:
+  WalkMemoryOracle(MacoSystem& system, int node)
+      : system_(system), node_(node) {}
+  sim::TimePs read_latency(vm::PhysAddr addr, std::uint32_t bytes) override;
+
+ private:
+  MacoSystem& system_;
+  int node_;
+};
+
+class MacoSystem {
+ public:
+  explicit MacoSystem(const SystemConfig& config = SystemConfig::maco_default());
+  ~MacoSystem();
+
+  const SystemConfig& config() const noexcept { return config_; }
+  sim::SimEngine& engine() noexcept { return engine_; }
+  mem::PhysicalMemory& memory() noexcept { return memory_; }
+  noc::MeshNetwork& mesh() noexcept { return *mesh_; }
+
+  unsigned node_count() const noexcept {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  ComputeNode& node(unsigned index);
+
+  // ---- processes ----
+  Process& create_process();
+  Process& process(vm::Asid asid);
+  // Installs the process context on a node (simulated OS context switch).
+  void schedule_process(unsigned node_index, Process& process);
+
+  // ---- matrix helpers (host-side, functional) ----
+  vm::MatrixDesc alloc_matrix(Process& process, std::uint64_t rows,
+                              std::uint64_t cols);
+  // Lazily-backed variant (reserved VA, no frames): the MMAE faults on
+  // first touch and the OS layer (os::Scheduler) repairs via demand paging.
+  vm::MatrixDesc alloc_matrix_lazy(Process& process, std::uint64_t rows,
+                                   std::uint64_t cols);
+  void write_matrix(Process& process, const vm::MatrixDesc& desc,
+                    const sa::HostMatrix& values);
+  sa::HostMatrix read_matrix(Process& process, const vm::MatrixDesc& desc);
+
+  // ---- memory-system internals (used by the backend/oracle) ----
+  mem::DirectoryCcm& ccm_for(vm::PhysAddr pa);
+  unsigned ccm_home_node(vm::PhysAddr pa) const noexcept;
+  mem::DramController& dram_for(vm::PhysAddr pa);
+  sim::TimePs noc_round_trip_ps(int node, unsigned home) const noexcept;
+  // Per-node injection port: serializes a node's outstanding transfers.
+  sim::TimePs& node_port_free(int node) { return node_port_free_.at(node); }
+  double node_link_bandwidth() const noexcept {
+    return config_.node_link_bandwidth();
+  }
+
+  void run() { engine_.run(); }
+
+ private:
+  SystemConfig config_;
+  sim::SimEngine engine_;
+  mem::PhysicalMemory memory_;
+  std::unique_ptr<SystemMemoryBackend> backend_;
+  std::vector<std::unique_ptr<WalkMemoryOracle>> walk_oracles_;
+  std::vector<std::unique_ptr<mem::DramController>> drams_;
+  std::vector<std::unique_ptr<mem::DirectoryCcm>> ccms_;
+  std::unique_ptr<noc::MeshNetwork> mesh_;
+  std::vector<std::unique_ptr<ComputeNode>> nodes_;
+  std::vector<sim::TimePs> node_port_free_;
+  std::unordered_map<vm::Asid, std::unique_ptr<Process>> processes_;
+  vm::Asid next_asid_ = 1;
+};
+
+}  // namespace maco::core

@@ -1,0 +1,225 @@
+#include "core/mapped_gemm.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace maco::core {
+
+namespace {
+
+// One pending MPAIS dispatch: which node ran it and the MAID it returned.
+struct Dispatched {
+  unsigned node = 0;
+  cpu::Maid maid = 0;
+};
+
+isa::MoveParams pack_params(const vm::MatrixDesc& src_matrix,
+                            const vm::TileDesc& block, vm::VirtAddr dst) {
+  isa::MoveParams move;
+  move.src = src_matrix.element_addr(block.row0, block.col0);
+  move.dst = dst;
+  move.rows = static_cast<std::uint32_t>(block.rows);
+  move.row_bytes =
+      static_cast<std::uint32_t>(block.cols * src_matrix.elem_bytes);
+  move.src_stride = src_matrix.stride();
+  move.dst_stride = block.cols * src_matrix.elem_bytes;
+  return move;
+}
+
+isa::MoveParams unpack_params(vm::VirtAddr src,
+                              const vm::MatrixDesc& dst_matrix,
+                              const vm::TileDesc& block) {
+  isa::MoveParams move;
+  move.src = src;
+  move.dst = dst_matrix.element_addr(block.row0, block.col0);
+  move.rows = static_cast<std::uint32_t>(block.rows);
+  move.row_bytes =
+      static_cast<std::uint32_t>(block.cols * dst_matrix.elem_bytes);
+  move.src_stride = block.cols * dst_matrix.elem_bytes;
+  move.dst_stride = dst_matrix.stride();
+  return move;
+}
+
+}  // namespace
+
+MappedGemmResult MappedGemmRunner::run(Process& process,
+                                       const vm::MatrixDesc& a,
+                                       const vm::MatrixDesc& b,
+                                       const vm::MatrixDesc& c,
+                                       const MappedGemmOptions& options) {
+  MACO_ASSERT(a.cols == b.rows && c.rows == a.rows && c.cols == b.cols);
+  MappedGemmResult result;
+
+  const unsigned nodes = std::min<unsigned>(
+      options.nodes ? options.nodes : system_.node_count(),
+      system_.node_count());
+  const auto plan = partition_gemm(c.rows, c.cols, a.cols, nodes,
+                                   options.tile_rows, options.tile_cols);
+  result.nodes_used = nodes;
+
+  constexpr int kParams = 10;    // x10..x15: parameter block
+  constexpr int kMaidBase = 20;  // x20..: MAIDs of the current wave
+
+  std::vector<Dispatched> wave;
+  std::vector<int> slot_of(plan.size(), 0);
+  const auto dispatch = [&](unsigned node, std::size_t plan_index,
+                            const char* mnemonic,
+                            const isa::ParamBlock& params) {
+    cpu::CpuCore& cpu = system_.node(node).cpu();
+    cpu.regs().write_param_block(kParams, params);
+    const int slot = slot_of[plan_index]++;
+    cpu.execute_source(std::string(mnemonic) + " x" +
+                       std::to_string(kMaidBase + slot) + ", x" +
+                       std::to_string(kParams));
+    const std::uint64_t maid = cpu.regs().read(kMaidBase + slot);
+    MACO_ASSERT_MSG(maid != cpu::kMaidAllocFailed,
+                    "mapped GEMM overflowed the MTQ");
+    wave.push_back(Dispatched{node, static_cast<cpu::Maid>(maid)});
+  };
+
+  // Drains the simulator, checks every dispatched task, releases entries.
+  const auto drain_wave = [&]() -> bool {
+    system_.run();
+    ++result.waves;
+    bool ok = true;
+    for (const Dispatched& d : wave) {
+      cpu::CpuCore& cpu = system_.node(d.node).cpu();
+      const cpu::MtqEntry& entry = cpu.mtq().entry(d.maid);
+      if (!entry.done || entry.exception_en) {
+        ok = false;
+        if (result.first_exception == cpu::ExceptionType::kNone) {
+          result.first_exception = entry.exception_type;
+        }
+      }
+      cpu.regs().write(9, d.maid);
+      cpu.execute_source("ma_state x8, x9");
+    }
+    wave.clear();
+    std::fill(slot_of.begin(), slot_of.end(), 0);
+    return ok;
+  };
+
+  // Scratch per node: a dense B panel (k x <=tile_cols, repacked when the
+  // tile's column range changes) and a dense C block.
+  struct Packed {
+    vm::MatrixDesc b_panel;
+    vm::MatrixDesc c_block;
+    std::uint64_t b_col0 = ~0ull;  // column range currently packed
+    std::uint64_t b_cols = 0;
+  };
+  std::vector<Packed> scratch(plan.size());
+  const std::uint64_t panel_cols = std::min(options.tile_cols, c.cols);
+  const std::uint64_t block_rows = std::min(options.tile_rows, c.rows);
+
+  // Stash wave (Section IV.B): lock each node's operand panels in L3.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const NodePlan& node_plan = plan[i];
+    const unsigned node = static_cast<unsigned>(node_plan.node);
+    system_.schedule_process(node, process);
+    if (node_plan.c_tiles.empty()) continue;
+
+    scratch[i].b_panel = system_.alloc_matrix(process, b.rows, panel_cols);
+    scratch[i].c_block =
+        system_.alloc_matrix(process, block_rows, panel_cols);
+
+    if (options.stash_lock) {
+      isa::StashParams stash_a;  // A row-slab: dense full rows
+      stash_a.base = a.element_addr(node_plan.row_begin, 0);
+      stash_a.rows = static_cast<std::uint32_t>(node_plan.row_end -
+                                                node_plan.row_begin);
+      stash_a.row_bytes = static_cast<std::uint32_t>(a.cols * a.elem_bytes);
+      stash_a.stride = a.stride();
+      stash_a.lock = true;
+      dispatch(node, i, "ma_stash", stash_a.pack());
+
+      isa::StashParams stash_b;  // B column-panel: strided rows
+      stash_b.base = b.element_addr(0, node_plan.col_begin);
+      stash_b.rows = static_cast<std::uint32_t>(b.rows);
+      stash_b.row_bytes = static_cast<std::uint32_t>(
+          (node_plan.col_end - node_plan.col_begin) * b.elem_bytes);
+      stash_b.stride = b.stride();
+      stash_b.lock = true;
+      dispatch(node, i, "ma_stash", stash_b.pack());
+      result.stash_tasks += 2;
+    }
+  }
+  if (!wave.empty() && !drain_wave()) return result;
+
+  // Tile waves: nodes advance their tile lists in lock step. Each wave per
+  // node is at most pack-B + (pack-C | init-C) + GEMM + unpack-C = 4 MTQ
+  // entries, within the 8-entry budget.
+  std::size_t max_tiles = 0;
+  for (const auto& node_plan : plan) {
+    max_tiles = std::max(max_tiles, node_plan.c_tiles.size());
+  }
+  for (std::size_t t = 0; t < max_tiles; ++t) {
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const NodePlan& node_plan = plan[i];
+      if (t >= node_plan.c_tiles.size()) continue;
+      const unsigned node = static_cast<unsigned>(node_plan.node);
+      const vm::TileDesc& tile = node_plan.c_tiles[t];
+
+      // Repack the dense B panel when this tile's column range moved.
+      if (scratch[i].b_col0 != tile.col0 ||
+          scratch[i].b_cols != tile.cols) {
+        dispatch(node, i, "ma_move",
+                 pack_params(b,
+                             vm::TileDesc{0, tile.col0, b.rows, tile.cols},
+                             scratch[i].b_panel.base)
+                     .pack());
+        ++result.move_tasks;
+        scratch[i].b_col0 = tile.col0;
+        scratch[i].b_cols = tile.cols;
+      }
+
+      if (options.accumulate) {
+        dispatch(node, i, "ma_move",
+                 pack_params(c, tile, scratch[i].c_block.base).pack());
+      } else {
+        isa::InitParams zero;
+        zero.dst = scratch[i].c_block.base;
+        zero.rows = static_cast<std::uint32_t>(tile.rows);
+        zero.row_bytes =
+            static_cast<std::uint32_t>(tile.cols * c.elem_bytes);
+        zero.stride = tile.cols * c.elem_bytes;
+        dispatch(node, i, "ma_init", zero.pack());
+      }
+      ++result.move_tasks;
+
+      isa::GemmParams gemm;
+      gemm.a_base = a.element_addr(tile.row0, 0);
+      gemm.b_base = scratch[i].b_panel.base;
+      gemm.c_base = scratch[i].c_block.base;
+      gemm.m = static_cast<std::uint32_t>(tile.rows);
+      gemm.k = static_cast<std::uint32_t>(a.cols);
+      gemm.n = static_cast<std::uint32_t>(tile.cols);
+      gemm.accumulate = true;  // scratch C holds the block's prior value
+      dispatch(node, i, "ma_cfg", gemm.pack());
+      ++result.gemm_tasks;
+
+      dispatch(node, i, "ma_move",
+               unpack_params(scratch[i].c_block.base, c, tile).pack());
+      ++result.move_tasks;
+    }
+    if (!drain_wave()) return result;
+  }
+
+  // Aggregate the timeline from the MMAE task reports.
+  sim::TimePs first = ~sim::TimePs{0}, last = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const auto& reports =
+        system_.node(static_cast<unsigned>(plan[i].node)).mmae().reports();
+    for (const auto& report : reports) {
+      first = std::min(first, report.start);
+      last = std::max(last, report.end);
+      result.total_dma_bytes += report.dma_bytes;
+    }
+  }
+  result.makespan_ps = last > first ? last - first : 0;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace maco::core

@@ -1,0 +1,66 @@
+// MappedGemmRunner: the paper's Fig. 5 multi-node GEMM mapping as a
+// library feature over the detailed system.
+//
+// partition_gemm() splits C into per-node 2D blocks; this runner turns the
+// plan into per-node MPAIS programs and drives them to completion:
+//
+//   per node:  MA_STASH  A row-slab + B column-panel into L3 (locked)
+//              MA_MOVE   pack the strided B panel into a dense scratch
+//              per C tile:
+//                MA_MOVE  pack the C block          (strided -> dense)
+//                MA_CFG   GEMM on dense operands    (A slab is naturally
+//                                                    dense: full rows)
+//                MA_MOVE  unpack the updated block  (dense -> strided)
+//
+// exactly the packing discipline real BLAS/HPL uses, expressed in the
+// paper's data-migration instructions. Tiles are dispatched in waves that
+// respect the 8-entry MTQ; all nodes run concurrently within a wave.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gemm_mapper.hpp"
+#include "core/maco_system.hpp"
+
+namespace maco::core {
+
+struct MappedGemmOptions {
+  unsigned nodes = 0;  // 0 => all nodes of the system
+  std::uint64_t tile_rows = 1024;  // first-level tiling <Tr, Tc>
+  std::uint64_t tile_cols = 1024;
+  bool stash_lock = true;   // Section IV.B prefetch+lock before compute
+  bool accumulate = true;   // C += A*B (false: C = A*B)
+};
+
+struct MappedGemmResult {
+  bool ok = false;
+  unsigned nodes_used = 0;
+  std::uint64_t gemm_tasks = 0;
+  std::uint64_t move_tasks = 0;
+  std::uint64_t stash_tasks = 0;
+  std::uint64_t waves = 0;
+  sim::TimePs makespan_ps = 0;     // first dispatch to last completion
+  std::uint64_t total_dma_bytes = 0;
+  cpu::ExceptionType first_exception = cpu::ExceptionType::kNone;
+};
+
+class MappedGemmRunner {
+ public:
+  explicit MappedGemmRunner(MacoSystem& system) : system_(system) {}
+
+  // C (m×n) [+]= A (m×k) * B (k×n); all three dense in `process`'s space.
+  MappedGemmResult run(Process& process, const vm::MatrixDesc& a,
+                       const vm::MatrixDesc& b, const vm::MatrixDesc& c,
+                       const MappedGemmOptions& options = {});
+
+ private:
+  struct NodeScratch {
+    vm::MatrixDesc b_panel;  // dense k × node_cols
+    vm::MatrixDesc c_block;  // dense tile_rows × tile_cols
+  };
+
+  MacoSystem& system_;
+};
+
+}  // namespace maco::core

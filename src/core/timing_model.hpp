@@ -1,0 +1,110 @@
+// System-level GEMM timing model.
+//
+// Register-level simulation of a 9216³ GEMM is intractable, so the benches
+// use this model: per-inner-tile systolic latency comes from the closed form
+// validated against the cycle-accurate array; translation behaviour comes
+// from simulating the real sTLB over the exact page-touch sequence the DMA
+// streams generate (vm::predict_page_entries); NoC contention comes from the
+// X-Y link-load model validated against the flit-level mesh; DRAM pressure
+// from the channel bandwidth model. Baselines parameterize the same model
+// (coupling, overlap, translation policy) rather than hard-coding ratios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sa/latency_model.hpp"
+
+namespace maco::core {
+
+struct TimingOptions {
+  sa::TileShape shape;  // the GEMM each node runs (independent mode) or the
+                        // whole GEMM split over nodes (cooperative mode)
+  sa::Precision precision = sa::Precision::kFp64;
+  unsigned active_nodes = 1;
+  bool cooperative = false;
+
+  bool use_matlb = true;      // predictive address translation (Fig. 4/6)
+  bool use_stash_lock = true; // L3 prefetch + lock mapping scheme (§IV.B)
+
+  // First/second-level tiling (paper: <1024,1024> / <64,64>).
+  std::uint64_t tile_rows = 1024;
+  std::uint64_t tile_cols = 1024;
+  std::uint64_t inner = 64;
+  // Translation page size (what-if studies; the paper and hardware use 4 KiB).
+  std::uint64_t page_bytes = 4096;
+
+  // Baseline knobs (MACO defaults):
+  std::size_t tlb_entries_override = 0;  // 0 => config's shared TLB size
+  double engine_overlap = 1.0;   // fraction of DMA hidden under compute;
+                                 // <1 models tightly-coupled contention
+  sim::TimePs sync_overhead_per_tile_ps = 0;  // fence-style per-tile sync
+  double dma_bandwidth_scale = 1.0;  // <1: engine fed through a narrower port
+  unsigned simd_ways_override = 0;   // 0 => from precision. Fig. 8 uses 1 to
+                                     // normalize all systems to 16×16 PEs.
+  // Array geometry override (0 = config). Fig. 8's comparators are
+  // single-node systems with one 16×16 array at the same total PE count.
+  unsigned sa_rows_override = 0;
+  unsigned sa_cols_override = 0;
+  // Per-walk leaf-PTE latency policy. Default: heuristic (cold when walks
+  // recur enough to thrash the L3's page-table lines, warm otherwise).
+  bool pte_always_cold = false;  // standalone walker, no PWC (stress case)
+  bool pte_walks_warm = false;   // walks ride the host MMU's page-walk
+                                 // caches (in-core / host-PTW engines)
+};
+
+struct TranslationEstimate {
+  double pages_per_tile = 0.0;        // page touches per inner tile
+  double walks_per_tile = 0.0;        // sTLB misses per inner tile
+  sim::TimePs stall_per_tile_ps = 0;  // blocking-walk latency per tile
+};
+
+struct NodeTiming {
+  sim::TimePs span_ps = 0;
+  sim::TimePs compute_ps = 0;      // systolic-array busy time
+  sim::TimePs dma_tile_ps = 0;     // steady-state DMA time per tile
+  sim::TimePs translation_exposed_ps = 0;  // total stall on the critical path
+  std::uint64_t macs = 0;
+  double efficiency = 0.0;  // vs the node's peak at this precision
+  double gflops = 0.0;
+};
+
+struct SystemTiming {
+  std::vector<NodeTiming> nodes;
+  double mean_efficiency = 0.0;  // average per-node efficiency (Fig. 7 y-axis)
+  double total_gflops = 0.0;     // aggregate throughput (Fig. 8 y-axis)
+  sim::TimePs makespan_ps = 0;
+  TranslationEstimate translation;
+};
+
+class SystemTimingModel {
+ public:
+  explicit SystemTimingModel(const SystemConfig& config);
+
+  SystemTiming run(const TimingOptions& options) const;
+
+  // Runs a sequence of GEMM layers (a DNN) back to back; cooperative across
+  // the active nodes. Returns aggregate throughput over the whole network.
+  SystemTiming run_layers(const std::vector<sa::TileShape>& layers,
+                          TimingOptions options) const;
+
+  // Exposed for tests: the sTLB/page-geometry simulation.
+  TranslationEstimate estimate_translation(const TimingOptions& options,
+                                           const sa::TileShape& node_shape)
+      const;
+
+  // Total systolic cycles to sweep `shape` in inner³ tiles (edge-exact).
+  std::uint64_t aggregate_sa_cycles(const sa::TileShape& shape,
+                                    const TimingOptions& options) const;
+
+  const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  unsigned effective_ways(const TimingOptions& options) const noexcept;
+  sa::SaConfig sa_config_for(const TimingOptions& options) const noexcept;
+
+  SystemConfig config_;
+};
+
+}  // namespace maco::core

@@ -1,0 +1,112 @@
+// CPU core model (Table I).
+//
+// The core is modeled at the level this study needs: it architecturally
+// executes MPAIS instructions (allocating MTQ entries, marshalling the six
+// parameter registers to the MMAE, querying/releasing task state), owns the
+// MMU and private caches, and accounts cycles for the instructions it
+// issues. General scalar/vector computation is represented by the kernel
+// cost models in scalar_kernels.hpp rather than per-instruction simulation —
+// Table I's resources (issue width, ports) parameterize those models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/mmu.hpp"
+#include "cpu/mtq.hpp"
+#include "cpu/scalar_kernels.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/params.hpp"
+#include "isa/regfile.hpp"
+#include "mem/cache.hpp"
+#include "sim/component.hpp"
+
+namespace maco::cpu {
+
+struct CpuConfig {
+  double frequency_hz = 2.2e9;   // Table IV
+  unsigned issue_width = 4;      // Table I: four-issue
+  unsigned pipeline_stages = 12; // Table I: 12+
+  mem::CacheConfig l1i{48 * 1024, 4, mem::kLineBytes};   // Table I (48 KiB)
+  mem::CacheConfig l1d{48 * 1024, 4, mem::kLineBytes};
+  mem::CacheConfig l2{512 * 1024, 8, mem::kLineBytes};   // Table I: private
+  MmuConfig mmu;
+  unsigned mtq_entries = 8;
+  CpuKernelModel kernels;
+};
+
+// Sentinel written to Rd when MA_CFG finds no free MTQ entry.
+inline constexpr std::uint64_t kMaidAllocFailed = ~0ull;
+
+// The CPU's view of its associated MMAE: submit a command, get completion
+// through the MTQ (the MMAE holds a reference to it).
+class AcceleratorPort {
+ public:
+  virtual ~AcceleratorPort() = default;
+  // Returns false if the slave queue cannot accept the command.
+  virtual bool submit(Maid maid, isa::Mnemonic op,
+                      const isa::ParamBlock& params, vm::Asid asid) = 0;
+};
+
+class CpuCore : public sim::Component {
+ public:
+  CpuCore(sim::SimEngine& engine, int node_id, const CpuConfig& config,
+          vm::MemoryLatencyOracle& walk_memory);
+
+  int node_id() const noexcept { return node_id_; }
+  const CpuConfig& config() const noexcept { return config_; }
+
+  void attach_accelerator(AcceleratorPort* port) noexcept {
+    accelerator_ = port;
+  }
+
+  // Current process context (set by the simulated OS on a context switch).
+  void set_context(vm::Asid asid, const vm::PageTable* table);
+  vm::Asid current_asid() const noexcept { return asid_; }
+  const vm::PageTable* current_table() const noexcept { return table_; }
+
+  isa::RegFile& regs() noexcept { return regs_; }
+  MasterTaskQueue& mtq() noexcept { return mtq_; }
+  Mmu& mmu() noexcept { return mmu_; }
+  mem::SetAssocCache& l1d() noexcept { return l1d_; }
+  mem::SetAssocCache& l2() noexcept { return l2_; }
+  const CpuKernelModel& kernels() const noexcept { return config_.kernels; }
+
+  struct ExecStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t tasks_dispatched = 0;
+    std::uint64_t mtq_alloc_failures = 0;
+    std::uint64_t submit_rejections = 0;
+    sim::Cycles cycles = 0;
+  };
+
+  // Executes one MPAIS instruction; returns issue cycles consumed.
+  sim::Cycles step(const isa::Instruction& instruction, ExecStats& stats);
+
+  // Executes a whole program front to back.
+  ExecStats execute(const std::vector<isa::Instruction>& program);
+
+  // Convenience: assemble and execute MPAIS source (asserts clean assembly).
+  ExecStats execute_source(std::string_view source);
+
+  sim::TimePs cycles_to_ps(sim::Cycles cycles) const noexcept {
+    return static_cast<sim::TimePs>(
+        static_cast<double>(cycles) * 1e12 / config_.frequency_hz);
+  }
+
+ private:
+  int node_id_;
+  CpuConfig config_;
+  isa::RegFile regs_;
+  MasterTaskQueue mtq_;
+  Mmu mmu_;
+  mem::SetAssocCache l1d_;
+  mem::SetAssocCache l2_;
+  AcceleratorPort* accelerator_ = nullptr;
+  vm::Asid asid_ = 0;
+  const vm::PageTable* table_ = nullptr;
+};
+
+}  // namespace maco::cpu

@@ -1,0 +1,68 @@
+// CPU memory-management unit: L1 DTLB (48-entry) backed by the shared
+// 1024-entry L2 TLB (sTLB) and a hardware page-table walker.
+//
+// The MMAE has no MMU of its own (paper Section II: LCA defect (2)); it
+// reaches translation through the CPU's sTLB via a customized interface —
+// `translate_for_accelerator` models that port (it bypasses the L1 DTLB,
+// which stays private to the core's load/store pipeline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "vm/page_table.hpp"
+#include "vm/tlb.hpp"
+#include "vm/walker.hpp"
+
+namespace maco::cpu {
+
+struct MmuConfig {
+  std::size_t l1_tlb_entries = 48;    // Table I: L1 ITLB/DTLB, fully assoc.
+  std::size_t l2_tlb_entries = 1024;  // Table I: L2 TLB, fully assoc.
+  sim::TimePs l1_tlb_latency_ps = 0;      // hidden in the pipeline
+  sim::TimePs l2_tlb_latency_ps = 1365;   // ~3 CPU cycles @ 2.2 GHz
+};
+
+enum class TranslationSource { kL1Tlb, kSharedTlb, kPageWalk, kFault };
+
+struct TranslationResult {
+  bool valid = false;
+  vm::PhysAddr phys = 0;
+  sim::TimePs latency = 0;
+  TranslationSource source = TranslationSource::kFault;
+};
+
+class Mmu {
+ public:
+  Mmu(std::string name, const MmuConfig& config,
+      vm::MemoryLatencyOracle& walk_memory);
+
+  // Full path: L1 DTLB -> sTLB -> walk.
+  TranslationResult translate(vm::Asid asid, const vm::PageTable& table,
+                              vm::VirtAddr va);
+
+  // Accelerator path: sTLB -> walk (fills sTLB but not the L1 DTLB).
+  TranslationResult translate_for_accelerator(vm::Asid asid,
+                                              const vm::PageTable& table,
+                                              vm::VirtAddr va);
+
+  void context_switch_flush(vm::Asid old_asid);
+
+  vm::Tlb& l1_tlb() noexcept { return l1_tlb_; }
+  vm::Tlb& shared_tlb() noexcept { return shared_tlb_; }
+  vm::PageTableWalker& walker() noexcept { return walker_; }
+
+ private:
+  TranslationResult walk_and_fill(vm::Asid asid, const vm::PageTable& table,
+                                  vm::VirtAddr va, bool fill_l1,
+                                  sim::TimePs latency_so_far);
+
+  std::string name_;
+  MmuConfig config_;
+  vm::Tlb l1_tlb_;
+  vm::Tlb shared_tlb_;
+  vm::PageTableWalker walker_;
+};
+
+}  // namespace maco::cpu

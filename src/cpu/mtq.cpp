@@ -1,0 +1,100 @@
+#include "cpu/mtq.hpp"
+
+#include "util/assert.hpp"
+
+namespace maco::cpu {
+
+const char* exception_type_name(ExceptionType type) noexcept {
+  switch (type) {
+    case ExceptionType::kNone: return "none";
+    case ExceptionType::kPageFault: return "page_fault";
+    case ExceptionType::kInvalidConfig: return "invalid_config";
+    case ExceptionType::kBufferOverflow: return "buffer_overflow";
+    case ExceptionType::kBusError: return "bus_error";
+  }
+  return "?";
+}
+
+std::uint64_t pack_state(const MtqEntry& entry) noexcept {
+  std::uint64_t word = 0;
+  word |= entry.valid ? 1ull : 0ull;
+  word |= entry.done ? (1ull << 1) : 0ull;
+  word |= entry.exception_en ? (1ull << 2) : 0ull;
+  word |= static_cast<std::uint64_t>(entry.exception_type) << 4;
+  word |= static_cast<std::uint64_t>(entry.asid) << 16;
+  word |= entry.asid_valid ? (1ull << 32) : 0ull;
+  return word;
+}
+
+MasterTaskQueue::MasterTaskQueue(unsigned entries) : entries_(entries) {
+  MACO_ASSERT_MSG(entries > 0, "MTQ needs at least one entry");
+}
+
+std::optional<Maid> MasterTaskQueue::allocate(vm::Asid asid) {
+  for (Maid maid = 0; maid < entries_.size(); ++maid) {
+    MtqEntry& e = entries_[maid];
+    if (!e.valid) {
+      e = MtqEntry{};
+      e.valid = true;
+      e.asid = asid;
+      e.asid_valid = true;
+      ++allocations_;
+      return maid;
+    }
+  }
+  ++allocation_failures_;
+  return std::nullopt;
+}
+
+void MasterTaskQueue::mark_done(Maid maid) {
+  MACO_ASSERT_MSG(maid < entries_.size(), "MAID " << maid);
+  MtqEntry& e = entries_[maid];
+  MACO_ASSERT_MSG(e.valid, "completion for unallocated MTQ entry " << maid);
+  e.done = true;
+}
+
+void MasterTaskQueue::mark_exception(Maid maid, ExceptionType type) {
+  MACO_ASSERT_MSG(maid < entries_.size(), "MAID " << maid);
+  MtqEntry& e = entries_[maid];
+  MACO_ASSERT_MSG(e.valid, "exception for unallocated MTQ entry " << maid);
+  // Fig. 3 state 4: the MMAE terminated the task; Done is set with the
+  // exception flag so software knows to check the type and MA_CLEAR.
+  e.done = true;
+  e.exception_en = true;
+  e.exception_type = type;
+}
+
+std::optional<MtqEntry> MasterTaskQueue::read(Maid maid) const {
+  if (maid >= entries_.size()) return std::nullopt;
+  return entries_[maid];
+}
+
+std::optional<MtqEntry> MasterTaskQueue::read_and_release(Maid maid) {
+  if (maid >= entries_.size()) return std::nullopt;
+  const MtqEntry snapshot = entries_[maid];
+  // Release only a completed, exception-free entry; an exception entry must
+  // be cleared explicitly with MA_CLEAR (Fig. 3 state 4).
+  if (snapshot.valid && snapshot.done && !snapshot.exception_en) {
+    entries_[maid] = MtqEntry{};
+  }
+  return snapshot;
+}
+
+bool MasterTaskQueue::clear(Maid maid) {
+  if (maid >= entries_.size()) return false;
+  entries_[maid] = MtqEntry{};
+  return true;
+}
+
+unsigned MasterTaskQueue::occupied() const noexcept {
+  unsigned count = 0;
+  for (const auto& e : entries_) count += e.valid ? 1 : 0;
+  return count;
+}
+
+const MtqEntry& MasterTaskQueue::entry(Maid maid) const {
+  MACO_ASSERT_MSG(maid < entries_.size(), "MAID " << maid);
+  return entries_[maid];
+}
+
+}  // namespace maco::cpu

@@ -1,0 +1,83 @@
+// Master Task Queue (paper Section III.C, Table III, Fig. 3).
+//
+// Each CPU core integrates an MTQ whose entries record the execution state
+// of dispatched GEMM processes. Entries survive process switches: software
+// combines Done and ASID from the queried entry to decide whether its task
+// finished even if the entry has since been re-allocated to another process
+// (Fig. 3 state 3). Exceptions terminate the task on the MMAE side and are
+// surfaced through exception_en/exception_type until MA_CLEAR.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vm/types.hpp"
+
+namespace maco::cpu {
+
+using Maid = std::uint32_t;  // MTQ-entry identifier returned by MA_CFG
+
+enum class ExceptionType : std::uint8_t {
+  kNone = 0,
+  kPageFault = 1,        // DMA touched an unmapped page
+  kInvalidConfig = 2,    // tile larger than MMAE buffers, bad precision...
+  kBufferOverflow = 3,   // on-chip buffer capacity exceeded mid-task
+  kBusError = 4,         // memory system reported an unrecoverable error
+};
+
+const char* exception_type_name(ExceptionType type) noexcept;
+
+struct MtqEntry {
+  bool valid = false;       // entry is allocated
+  bool done = false;        // task completed
+  vm::Asid asid = 0;        // process identifier (paper: NULL when free)
+  bool asid_valid = false;  // models the "ASID = NULL" state of Fig. 3
+  bool exception_en = false;
+  ExceptionType exception_type = ExceptionType::kNone;
+};
+
+// Result of an MA_READ / MA_STATE query, packed into Rd by the CPU:
+//   [0] valid  [1] done  [2] exception_en  [7:4] exception_type
+//   [31:16] ASID  [32] asid_valid
+std::uint64_t pack_state(const MtqEntry& entry) noexcept;
+
+class MasterTaskQueue {
+ public:
+  explicit MasterTaskQueue(unsigned entries = 8);
+
+  // MA_CFG path: allocate a free entry for `asid`; nullopt when full.
+  std::optional<Maid> allocate(vm::Asid asid);
+
+  // MMAE completion path.
+  void mark_done(Maid maid);
+  void mark_exception(Maid maid, ExceptionType type);
+
+  // MA_READ: query state without side effects.
+  std::optional<MtqEntry> read(Maid maid) const;
+
+  // MA_STATE: query state and release the entry (Fig. 3: Valid/Done are
+  // cleared, the ASID becomes NULL).
+  std::optional<MtqEntry> read_and_release(Maid maid);
+
+  // MA_CLEAR: forcibly clear the entry after an exception.
+  bool clear(Maid maid);
+
+  unsigned capacity() const noexcept {
+    return static_cast<unsigned>(entries_.size());
+  }
+  unsigned occupied() const noexcept;
+  const MtqEntry& entry(Maid maid) const;
+
+  std::uint64_t allocations() const noexcept { return allocations_; }
+  std::uint64_t allocation_failures() const noexcept {
+    return allocation_failures_;
+  }
+
+ private:
+  std::vector<MtqEntry> entries_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t allocation_failures_ = 0;
+};
+
+}  // namespace maco::cpu

@@ -1,0 +1,89 @@
+#include "cpu/scalar_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maco::cpu {
+
+namespace {
+
+// Elements processed per cycle for a streaming element-wise op that reads
+// and writes each element once: bounded by lanes and by load/store bandwidth.
+double streaming_elements_per_cycle(const CpuKernelModel& m,
+                                    sa::Precision p) {
+  const double lanes =
+      static_cast<double>(m.vector_lanes_fp64) * sa::simd_ways(p);
+  const double bytes = sa::element_bytes(p);
+  const double load_limit = m.load_bytes_per_cycle / bytes;
+  const double store_limit = m.store_bytes_per_cycle / bytes;
+  return std::min({lanes, load_limit, store_limit});
+}
+
+}  // namespace
+
+sim::Cycles CpuKernelModel::gemm_cycles(std::uint64_t m, std::uint64_t n,
+                                        std::uint64_t k,
+                                        sa::Precision p) const noexcept {
+  const double macs = static_cast<double>(m) * n * k;
+  const double rate =
+      static_cast<double>(macs_per_cycle(p)) * gemm_software_efficiency;
+  return static_cast<sim::Cycles>(std::ceil(macs / rate));
+}
+
+sim::Cycles CpuKernelModel::softmax_cycles(std::uint64_t rows,
+                                           std::uint64_t cols,
+                                           sa::Precision p) const noexcept {
+  // Four passes over the row (max, exp+sum, scale) but exp dominates.
+  const double elements = static_cast<double>(rows) * cols;
+  const double stream = streaming_elements_per_cycle(*this, p);
+  const double pass_cycles = 3.0 * elements / stream;
+  const double exp_cycles = elements / special_func_per_cycle;
+  return static_cast<sim::Cycles>(std::ceil(pass_cycles + exp_cycles));
+}
+
+sim::Cycles CpuKernelModel::layernorm_cycles(std::uint64_t rows,
+                                             std::uint64_t cols,
+                                             sa::Precision p) const noexcept {
+  const double elements = static_cast<double>(rows) * cols;
+  const double stream = streaming_elements_per_cycle(*this, p);
+  // mean + variance passes, then normalize+affine pass with one sqrt/row.
+  const double pass_cycles = 3.0 * elements / stream;
+  const double sqrt_cycles = static_cast<double>(rows) / special_func_per_cycle;
+  return static_cast<sim::Cycles>(std::ceil(pass_cycles + sqrt_cycles));
+}
+
+sim::Cycles CpuKernelModel::gelu_cycles(std::uint64_t elements,
+                                        sa::Precision p) const noexcept {
+  const double stream = streaming_elements_per_cycle(*this, p);
+  const double tanh_cycles =
+      static_cast<double>(elements) / special_func_per_cycle;
+  return static_cast<sim::Cycles>(
+      std::ceil(static_cast<double>(elements) / stream + tanh_cycles));
+}
+
+sim::Cycles CpuKernelModel::relu_cycles(std::uint64_t elements,
+                                        sa::Precision p) const noexcept {
+  const double stream = streaming_elements_per_cycle(*this, p);
+  return static_cast<sim::Cycles>(
+      std::ceil(static_cast<double>(elements) / stream));
+}
+
+sim::Cycles CpuKernelModel::bias_add_cycles(std::uint64_t elements,
+                                            sa::Precision p) const noexcept {
+  const double stream = streaming_elements_per_cycle(*this, p);
+  return static_cast<sim::Cycles>(
+      std::ceil(static_cast<double>(elements) / stream));
+}
+
+sim::Cycles CpuKernelModel::embedding_lookup_cycles(
+    std::uint64_t lookups, std::uint64_t dim, sa::Precision p) const noexcept {
+  // Gather-dominated: each row costs its streaming bytes plus a dependent
+  // index load (~4 cycles of address generation not hidden by the OoO core).
+  const double stream = streaming_elements_per_cycle(*this, p);
+  const double stream_cycles =
+      static_cast<double>(lookups) * dim / stream;
+  const double index_cycles = 4.0 * static_cast<double>(lookups);
+  return static_cast<sim::Cycles>(std::ceil(stream_cycles + index_cycles));
+}
+
+}  // namespace maco::cpu

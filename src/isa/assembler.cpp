@@ -1,0 +1,162 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace maco::isa {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int mnemonic_from(const std::string& name) {
+  for (int m = 0; m <= static_cast<int>(Mnemonic::kMaClear); ++m) {
+    if (name == mnemonic_name(static_cast<Mnemonic>(m))) return m;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int parse_register(std::string_view token) {
+  const std::string t = to_lower(strip(token));
+  if (t == "xzr") return static_cast<int>(kZeroRegister);
+  if (t.size() < 2 || t[0] != 'x') return -1;
+  int value = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return -1;
+    value = value * 10 + (t[i] - '0');
+    // "x31" is not a valid ARMv8 spelling; register 31 is only "xzr".
+    if (value >= static_cast<int>(kZeroRegister)) return -1;
+  }
+  return value;
+}
+
+AsmResult assemble(std::string_view source) {
+  AsmResult result;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      if (const auto c = line.find(marker); c != std::string_view::npos) {
+        line = line.substr(0, c);
+      }
+    }
+    line = strip(line);
+    if (line.empty()) continue;
+
+    // Tokenize: mnemonic, then comma-separated operands.
+    const std::size_t space = line.find_first_of(" \t");
+    const std::string mnemonic =
+        to_lower(line.substr(0, space));
+    std::string_view rest =
+        space == std::string_view::npos ? std::string_view{}
+                                        : strip(line.substr(space));
+
+    const int op = mnemonic_from(mnemonic);
+    if (op < 0) {
+      result.errors.push_back({line_no, "unknown mnemonic '" + mnemonic + "'"});
+      continue;
+    }
+
+    std::vector<std::string_view> operands;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      operands.push_back(strip(rest.substr(0, comma)));
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : strip(rest.substr(comma + 1));
+    }
+    // Drop empty operands from stray commas.
+    std::erase_if(operands, [](std::string_view o) { return o.empty(); });
+
+    Instruction instruction;
+    instruction.op = static_cast<Mnemonic>(op);
+    const bool single_operand = instruction.op == Mnemonic::kMaClear;
+    const std::size_t expected = single_operand ? 1 : 2;
+    if (operands.size() != expected) {
+      std::ostringstream oss;
+      oss << mnemonic << " expects " << expected << " operand(s), got "
+          << operands.size();
+      result.errors.push_back({line_no, oss.str()});
+      continue;
+    }
+
+    if (single_operand) {
+      // MA_CLEAR Rn: the MAID register (Table II usage "MA_CLEAR, Rn").
+      const int rn = parse_register(operands[0]);
+      if (rn < 0) {
+        result.errors.push_back({line_no, "bad register"});
+        continue;
+      }
+      instruction.rd = kZeroRegister;
+      instruction.rn = static_cast<std::uint8_t>(rn);
+    } else {
+      const int rd = parse_register(operands[0]);
+      const int rn = parse_register(operands[1]);
+      if (rd < 0 || rn < 0) {
+        result.errors.push_back({line_no, "bad register"});
+        continue;
+      }
+      instruction.rd = static_cast<std::uint8_t>(rd);
+      instruction.rn = static_cast<std::uint8_t>(rn);
+    }
+    if (uses_param_block(instruction.op) &&
+        instruction.rn + kParamRegisters > kRegisterCount - 1) {
+      result.errors.push_back(
+          {line_no, "parameter block Rn..Rn+5 must fit below xzr"});
+      continue;
+    }
+    result.program.push_back(instruction);
+    result.words.push_back(encode(instruction));
+  }
+  return result;
+}
+
+std::string disassemble(const Instruction& instruction) {
+  std::ostringstream oss;
+  oss << mnemonic_name(instruction.op) << ' ';
+  auto reg = [](unsigned r) {
+    return r == kZeroRegister ? std::string("xzr") : "x" + std::to_string(r);
+  };
+  if (instruction.op == Mnemonic::kMaClear) {
+    oss << reg(instruction.rn);
+  } else {
+    oss << reg(instruction.rd) << ", " << reg(instruction.rn);
+  }
+  return oss.str();
+}
+
+std::string disassemble(const std::vector<Instruction>& program) {
+  std::string out;
+  for (const auto& instruction : program) {
+    out += disassemble(instruction);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace maco::isa

@@ -1,0 +1,38 @@
+// Text assembler / disassembler for MPAIS.
+//
+// Accepts one instruction per line, e.g.:
+//     ma_cfg   x5, x10      ; dispatch GEMM, params in x10..x15, MAID -> x5
+//     ma_state x6, x5       ; query + release, state -> x6
+// Comments start with ';' or '#'. Register names are x0..x30 and xzr.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace maco::isa {
+
+struct AsmError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct AsmResult {
+  std::vector<Instruction> program;
+  std::vector<std::uint32_t> words;
+  std::vector<AsmError> errors;
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+AsmResult assemble(std::string_view source);
+
+std::string disassemble(const Instruction& instruction);
+std::string disassemble(const std::vector<Instruction>& program);
+
+// Parses "x17" / "XZR" into a register index; returns -1 on failure.
+int parse_register(std::string_view token);
+
+}  // namespace maco::isa

@@ -1,0 +1,48 @@
+#include "isa/encoding.hpp"
+
+#include "util/assert.hpp"
+
+namespace maco::isa {
+
+std::uint32_t encode(const Instruction& instruction) {
+  MACO_ASSERT_MSG(instruction.rd < kRegisterCount &&
+                      instruction.rn < kRegisterCount,
+                  "register index out of range");
+  if (uses_param_block(instruction.op)) {
+    MACO_ASSERT_MSG(instruction.rn + kParamRegisters <= kRegisterCount - 1,
+                    "parameter block Rn..Rn+5 must fit below XZR");
+  }
+  return (kMpaisMajorOpcode << 24) |
+         (static_cast<std::uint32_t>(instruction.op) << 21) |
+         (static_cast<std::uint32_t>(instruction.rd) << 16) |
+         static_cast<std::uint32_t>(instruction.rn);
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  if ((word >> 24) != kMpaisMajorOpcode) return std::nullopt;
+  const std::uint32_t func = (word >> 21) & 0x7;
+  if (func > static_cast<std::uint32_t>(Mnemonic::kMaClear)) {
+    return std::nullopt;
+  }
+  if (((word >> 5) & 0x7FF) != 0) return std::nullopt;  // reserved bits
+  Instruction instruction;
+  instruction.op = static_cast<Mnemonic>(func);
+  instruction.rd = static_cast<std::uint8_t>((word >> 16) & 0x1F);
+  instruction.rn = static_cast<std::uint8_t>(word & 0x1F);
+  return instruction;
+}
+
+const char* mnemonic_name(Mnemonic m) noexcept {
+  switch (m) {
+    case Mnemonic::kMaMove: return "ma_move";
+    case Mnemonic::kMaInit: return "ma_init";
+    case Mnemonic::kMaStash: return "ma_stash";
+    case Mnemonic::kMaCfg: return "ma_cfg";
+    case Mnemonic::kMaRead: return "ma_read";
+    case Mnemonic::kMaState: return "ma_state";
+    case Mnemonic::kMaClear: return "ma_clear";
+  }
+  return "?";
+}
+
+}  // namespace maco::isa

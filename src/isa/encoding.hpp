@@ -1,0 +1,65 @@
+// MPAIS — Matrix Processing Assist Instruction Set (paper Table II).
+//
+// Seven non-privileged instructions extending ARMv8, encoded as 32-bit words
+// in a reserved major-opcode space:
+//
+//   [31:24] 0xC7 (MPAIS major opcode)
+//   [23:21] func3 (instruction selector)
+//   [20:16] Rd    (destination: receives the MAID / queried state)
+//   [15:5]  reserved, must be zero
+//   [4:0]   Rn    (first of the six parameter registers Rn..Rn+5,
+//                  or the MAID register for task-management ops)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace maco::isa {
+
+enum class Mnemonic : std::uint8_t {
+  kMaMove = 0,   // copy data from source address to destination address
+  kMaInit = 1,   // set data in destination space to zeros
+  kMaStash = 2,  // prefetch from external memory into the L3 cache
+  kMaCfg = 3,    // request an MTQ entry and dispatch a GEMM task
+  kMaRead = 4,   // obtain the execution state of a GEMM task
+  kMaState = 5,  // obtain state and release the MTQ entry
+  kMaClear = 6,  // clear an MTQ entry (exception recovery)
+};
+
+inline constexpr std::uint32_t kMpaisMajorOpcode = 0xC7;
+inline constexpr unsigned kRegisterCount = 32;  // X0..X30 + XZR(31)
+inline constexpr unsigned kZeroRegister = 31;
+// MA_CFG et al. read six successive registers Rn..Rn+5.
+inline constexpr unsigned kParamRegisters = 6;
+
+struct Instruction {
+  Mnemonic op = Mnemonic::kMaMove;
+  std::uint8_t rd = 0;
+  std::uint8_t rn = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// Returns the 32-bit encoding; validates register indices.
+std::uint32_t encode(const Instruction& instruction);
+
+// Decodes a word; nullopt if it is not a valid MPAIS instruction.
+std::optional<Instruction> decode(std::uint32_t word);
+
+const char* mnemonic_name(Mnemonic m) noexcept;
+
+// True for the data-migration / GEMM ops that consume Rn..Rn+5.
+constexpr bool uses_param_block(Mnemonic m) noexcept {
+  switch (m) {
+    case Mnemonic::kMaMove:
+    case Mnemonic::kMaInit:
+    case Mnemonic::kMaStash:
+    case Mnemonic::kMaCfg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace maco::isa

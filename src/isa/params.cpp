@@ -1,0 +1,100 @@
+#include "isa/params.hpp"
+
+#include "util/assert.hpp"
+
+namespace maco::isa {
+
+namespace {
+
+constexpr std::uint64_t pack32(std::uint32_t hi, std::uint32_t lo) noexcept {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+constexpr std::uint32_t hi32(std::uint64_t v) noexcept {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+constexpr std::uint32_t lo32(std::uint64_t v) noexcept {
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+ParamBlock GemmParams::pack() const {
+  ParamBlock block{};
+  block[0] = a_base;
+  block[1] = b_base;
+  block[2] = c_base;
+  block[3] = pack32(m, n);
+  block[4] = pack32(k, (static_cast<std::uint32_t>(precision) << 30) |
+                           (accumulate ? (1u << 29) : 0u));
+  block[5] = (static_cast<std::uint64_t>(tile_rows) << 48) |
+             (static_cast<std::uint64_t>(tile_cols) << 32) |
+             (static_cast<std::uint64_t>(inner_tile_rows) << 16) |
+             inner_tile_cols;
+  return block;
+}
+
+GemmParams GemmParams::unpack(const ParamBlock& block) {
+  GemmParams p;
+  p.a_base = block[0];
+  p.b_base = block[1];
+  p.c_base = block[2];
+  p.m = hi32(block[3]);
+  p.n = lo32(block[3]);
+  p.k = hi32(block[4]);
+  const std::uint32_t precision_bits = (lo32(block[4]) >> 30) & 0x3;
+  MACO_ASSERT_MSG(precision_bits <= 2, "invalid precision encoding");
+  p.precision = static_cast<sa::Precision>(precision_bits);
+  p.accumulate = (lo32(block[4]) >> 29) & 1;
+  p.tile_rows = static_cast<std::uint16_t>(block[5] >> 48);
+  p.tile_cols = static_cast<std::uint16_t>(block[5] >> 32);
+  p.inner_tile_rows = static_cast<std::uint16_t>(block[5] >> 16);
+  p.inner_tile_cols = static_cast<std::uint16_t>(block[5]);
+  return p;
+}
+
+ParamBlock MoveParams::pack() const {
+  return ParamBlock{src, dst, pack32(rows, row_bytes), src_stride, dst_stride,
+                    0};
+}
+
+MoveParams MoveParams::unpack(const ParamBlock& block) {
+  MoveParams p;
+  p.src = block[0];
+  p.dst = block[1];
+  p.rows = hi32(block[2]);
+  p.row_bytes = lo32(block[2]);
+  p.src_stride = block[3];
+  p.dst_stride = block[4];
+  return p;
+}
+
+ParamBlock InitParams::pack() const {
+  return ParamBlock{dst, pack32(rows, row_bytes), stride, pattern, 0, 0};
+}
+
+InitParams InitParams::unpack(const ParamBlock& block) {
+  InitParams p;
+  p.dst = block[0];
+  p.rows = hi32(block[1]);
+  p.row_bytes = lo32(block[1]);
+  p.stride = block[2];
+  p.pattern = block[3];
+  return p;
+}
+
+ParamBlock StashParams::pack() const {
+  return ParamBlock{base, pack32(rows, row_bytes), stride,
+                    lock ? 1ull : 0ull, 0, 0};
+}
+
+StashParams StashParams::unpack(const ParamBlock& block) {
+  StashParams p;
+  p.base = block[0];
+  p.rows = hi32(block[1]);
+  p.row_bytes = lo32(block[1]);
+  p.stride = block[2];
+  p.lock = block[3] & 1;
+  return p;
+}
+
+}  // namespace maco::isa

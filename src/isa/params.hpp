@@ -1,0 +1,101 @@
+// Parameter-block layouts for MPAIS instructions.
+//
+// Before issuing MA_CFG / MA_MOVE / MA_INIT / MA_STASH, software loads six
+// successive general registers Rn..Rn+5 with the operation's parameters
+// (paper Section III.B). These structs define the packing and provide
+// pack/unpack marshalling; the STQ decodes the same layout on the MMAE side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/encoding.hpp"
+#include "sa/types.hpp"
+
+namespace maco::isa {
+
+using ParamBlock = std::array<std::uint64_t, kParamRegisters>;
+
+// MA_CFG: a tile-GEMM task, C (M×N) [+]= A (M×K) * B (K×N), row-major dense.
+//
+//   R0  virtual base address of A
+//   R1  virtual base address of B
+//   R2  virtual base address of C
+//   R3  [63:32] M          [31:0] N
+//   R4  [63:32] K          [31:30] precision  [29] accumulate  [28:0] rsvd
+//   R5  [63:48] Tr  [47:32] Tc  [31:16] ttr  [15:0] ttc   (two-level tiling)
+struct GemmParams {
+  std::uint64_t a_base = 0;
+  std::uint64_t b_base = 0;
+  std::uint64_t c_base = 0;
+  std::uint32_t m = 0;
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  sa::Precision precision = sa::Precision::kFp64;
+  bool accumulate = true;
+  std::uint16_t tile_rows = 1024;       // Tr: first-level tile
+  std::uint16_t tile_cols = 1024;       // Tc
+  std::uint16_t inner_tile_rows = 64;   // ttr: second-level tile
+  std::uint16_t inner_tile_cols = 64;   // ttc
+
+  ParamBlock pack() const;
+  static GemmParams unpack(const ParamBlock& block);
+  bool operator==(const GemmParams&) const = default;
+};
+
+// MA_MOVE: strided 2D copy (rows × row_bytes) from src to dst.
+//
+//   R0 src base   R1 dst base
+//   R2 [63:32] rows  [31:0] row_bytes
+//   R3 src stride (bytes)   R4 dst stride (bytes)   R5 reserved
+struct MoveParams {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint32_t rows = 1;
+  std::uint32_t row_bytes = 0;
+  std::uint64_t src_stride = 0;
+  std::uint64_t dst_stride = 0;
+
+  ParamBlock pack() const;
+  static MoveParams unpack(const ParamBlock& block);
+  bool operator==(const MoveParams&) const = default;
+};
+
+// MA_INIT: zero (or pattern-fill) a strided 2D region.
+//
+//   R0 dst base
+//   R1 [63:32] rows  [31:0] row_bytes
+//   R2 stride   R3 64-bit fill pattern (0 for the paper's "set to zeros")
+//   R4, R5 reserved
+struct InitParams {
+  std::uint64_t dst = 0;
+  std::uint32_t rows = 1;
+  std::uint32_t row_bytes = 0;
+  std::uint64_t stride = 0;
+  std::uint64_t pattern = 0;
+
+  ParamBlock pack() const;
+  static InitParams unpack(const ParamBlock& block);
+  bool operator==(const InitParams&) const = default;
+};
+
+// MA_STASH: prefetch a strided 2D region into the L3 cache, optionally
+// locking the lines there (paper Section IV.B data prefetch and locking).
+//
+//   R0 base
+//   R1 [63:32] rows  [31:0] row_bytes
+//   R2 stride   R3 [0] lock
+//   R4, R5 reserved
+struct StashParams {
+  std::uint64_t base = 0;
+  std::uint32_t rows = 1;
+  std::uint32_t row_bytes = 0;
+  std::uint64_t stride = 0;
+  bool lock = false;
+
+  ParamBlock pack() const;
+  static StashParams unpack(const ParamBlock& block);
+  bool operator==(const StashParams&) const = default;
+};
+
+}  // namespace maco::isa

@@ -1,0 +1,2 @@
+// RegFile is header-only; this translation unit anchors the module library.
+#include "isa/regfile.hpp"

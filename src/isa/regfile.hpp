@@ -1,0 +1,41 @@
+// ARMv8-style general-purpose register file (X0..X30, XZR).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/encoding.hpp"
+#include "util/assert.hpp"
+
+namespace maco::isa {
+
+class RegFile {
+ public:
+  std::uint64_t read(unsigned index) const {
+    MACO_ASSERT_MSG(index < kRegisterCount, "register X" << index);
+    return index == kZeroRegister ? 0 : regs_[index];
+  }
+
+  void write(unsigned index, std::uint64_t value) {
+    MACO_ASSERT_MSG(index < kRegisterCount, "register X" << index);
+    if (index != kZeroRegister) regs_[index] = value;
+  }
+
+  // Reads the six-register parameter block Rn..Rn+5 (MA_CFG convention).
+  std::array<std::uint64_t, kParamRegisters> read_param_block(
+      unsigned rn) const {
+    std::array<std::uint64_t, kParamRegisters> block{};
+    for (unsigned i = 0; i < kParamRegisters; ++i) block[i] = read(rn + i);
+    return block;
+  }
+
+  void write_param_block(
+      unsigned rn, const std::array<std::uint64_t, kParamRegisters>& block) {
+    for (unsigned i = 0; i < kParamRegisters; ++i) write(rn + i, block[i]);
+  }
+
+ private:
+  std::array<std::uint64_t, kRegisterCount> regs_{};
+};
+
+}  // namespace maco::isa

@@ -1,0 +1,173 @@
+#include "mem/cache.hpp"
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::mem {
+
+const char* coherence_state_name(CoherenceState s) noexcept {
+  switch (s) {
+    case CoherenceState::kInvalid: return "I";
+    case CoherenceState::kShared: return "S";
+    case CoherenceState::kExclusive: return "E";
+    case CoherenceState::kOwned: return "O";
+    case CoherenceState::kModified: return "M";
+  }
+  return "?";
+}
+
+SetAssocCache::SetAssocCache(std::string name, const CacheConfig& config)
+    : name_(std::move(name)), config_(config) {
+  MACO_ASSERT_MSG(util::is_pow2(config.line_bytes),
+                  name_ << ": line size must be a power of two");
+  MACO_ASSERT_MSG(config.ways > 0, name_ << ": needs at least one way");
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  MACO_ASSERT_MSG(lines % config.ways == 0 && lines > 0,
+                  name_ << ": size/line/ways mismatch");
+  sets_ = lines / config.ways;
+  // Non-power-of-two set counts are legal (the paper's 48 KB 4-way L1s have
+  // 192 sets); indexing falls back from mask to modulo in that case.
+  lines_.resize(lines);
+}
+
+std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const noexcept {
+  const std::uint64_t line = addr / config_.line_bytes;
+  return util::is_pow2(sets_) ? (line & (sets_ - 1)) : (line % sets_);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
+  return addr / config_.line_bytes / sets_;
+}
+
+SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[set * config_.ways + w];
+    if (line.state != CoherenceState::kInvalid && line.tag == tag) {
+      return &line;
+    }
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+SetAssocCache::AccessResult SetAssocCache::access(
+    std::uint64_t addr, bool write, CoherenceState install_state) {
+  AccessResult result;
+  ++tick_;
+  if (Line* line = find(addr)) {
+    ++hits_;
+    line->lru_tick = tick_;
+    if (write) line->state = CoherenceState::kModified;
+    result.hit = true;
+    result.allocated = true;
+    result.state = line->state;
+    return result;
+  }
+
+  ++misses_;
+  // Choose a victim: invalid way first, else LRU among unlocked lines.
+  const std::uint64_t set = set_index(addr);
+  Line* victim = nullptr;
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[set * config_.ways + w];
+    if (line.state == CoherenceState::kInvalid) {
+      victim = &line;
+      break;
+    }
+  }
+  if (!victim) {
+    for (unsigned w = 0; w < config_.ways; ++w) {
+      Line& line = lines_[set * config_.ways + w];
+      if (line.locked) continue;
+      if (!victim || line.lru_tick < victim->lru_tick) victim = &line;
+    }
+  }
+  if (!victim) {
+    // Every way is locked: the line cannot be allocated. The caller (CCM)
+    // treats this as an uncached access.
+    result.allocated = false;
+    return result;
+  }
+
+  if (victim->state != CoherenceState::kInvalid) {
+    result.evicted = true;
+    result.victim_addr =
+        (victim->tag * sets_ + set) * config_.line_bytes;
+    result.victim_dirty = victim->state == CoherenceState::kModified ||
+                          victim->state == CoherenceState::kOwned;
+    ++evictions_;
+    if (result.victim_dirty) ++writebacks_;
+  }
+
+  victim->tag = tag_of(addr);
+  victim->state = write ? CoherenceState::kModified : install_state;
+  victim->locked = false;
+  victim->lru_tick = tick_;
+  result.allocated = true;
+  result.state = victim->state;
+  return result;
+}
+
+std::optional<CoherenceState> SetAssocCache::probe(std::uint64_t addr) const {
+  const Line* line = find(addr);
+  if (!line) return std::nullopt;
+  return line->state;
+}
+
+void SetAssocCache::set_state(std::uint64_t addr, CoherenceState state) {
+  if (Line* line = find(addr)) {
+    if (state == CoherenceState::kInvalid) {
+      invalidate(addr);
+    } else {
+      line->state = state;
+    }
+  }
+}
+
+void SetAssocCache::invalidate(std::uint64_t addr) {
+  if (Line* line = find(addr)) {
+    if (line->locked) --locked_count_;
+    line->state = CoherenceState::kInvalid;
+    line->locked = false;
+  }
+}
+
+void SetAssocCache::invalidate_all() {
+  for (auto& line : lines_) {
+    line.state = CoherenceState::kInvalid;
+    line.locked = false;
+  }
+  locked_count_ = 0;
+}
+
+bool SetAssocCache::lock(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (!line) return false;
+  if (!line->locked) {
+    line->locked = true;
+    ++locked_count_;
+  }
+  return true;
+}
+
+bool SetAssocCache::unlock(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (!line) return false;
+  if (line->locked) {
+    line->locked = false;
+    --locked_count_;
+  }
+  return true;
+}
+
+bool SetAssocCache::is_locked(std::uint64_t addr) const {
+  const Line* line = find(addr);
+  return line && line->locked;
+}
+
+}  // namespace maco::mem

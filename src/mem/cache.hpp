@@ -1,0 +1,110 @@
+// Set-associative cache timing/state model with MOESI line states.
+//
+// Tag/state only — data bytes live in PhysicalMemory. Supports per-line lock
+// bits (used by the L3/CCM for the paper's stash-and-lock scheme: locked
+// lines are never chosen as eviction victims).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace maco::mem {
+
+inline constexpr unsigned kLineBytes = 64;
+
+constexpr std::uint64_t line_addr(std::uint64_t addr) noexcept {
+  return addr & ~static_cast<std::uint64_t>(kLineBytes - 1);
+}
+
+enum class CoherenceState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kOwned,
+  kModified,
+};
+
+const char* coherence_state_name(CoherenceState s) noexcept;
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 512 * 1024;
+  unsigned ways = 8;
+  unsigned line_bytes = kLineBytes;
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(std::string name, const CacheConfig& config);
+
+  struct AccessResult {
+    bool hit = false;
+    bool allocated = false;       // line now resident (false if all ways locked)
+    CoherenceState state = CoherenceState::kInvalid;
+    bool evicted = false;
+    std::uint64_t victim_addr = 0;
+    bool victim_dirty = false;    // victim was M or O (needs writeback)
+  };
+
+  // Allocate-on-miss access; `write` installs/updates to Modified, read
+  // installs to `install_state` (Exclusive by default, Shared when the
+  // directory says other sharers exist).
+  AccessResult access(std::uint64_t addr, bool write,
+                      CoherenceState install_state = CoherenceState::kExclusive);
+
+  // Probe without LRU/stat side effects.
+  std::optional<CoherenceState> probe(std::uint64_t addr) const;
+
+  // Directory-initiated state changes.
+  void set_state(std::uint64_t addr, CoherenceState state);
+  void invalidate(std::uint64_t addr);
+  void invalidate_all();
+
+  // Lock management (L3 only): returns false if the line is absent.
+  bool lock(std::uint64_t addr);
+  bool unlock(std::uint64_t addr);
+  bool is_locked(std::uint64_t addr) const;
+  std::uint64_t locked_lines() const noexcept { return locked_count_; }
+
+  const std::string& name() const noexcept { return name_; }
+  const CacheConfig& config() const noexcept { return config_; }
+  std::uint64_t sets() const noexcept { return sets_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t writebacks() const noexcept { return writebacks_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  void reset_stats() noexcept { hits_ = misses_ = evictions_ = writebacks_ = 0; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    CoherenceState state = CoherenceState::kInvalid;
+    bool locked = false;
+    std::uint64_t lru_tick = 0;
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const noexcept;
+  std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  Line* find(std::uint64_t addr);
+  const Line* find(std::uint64_t addr) const;
+
+  std::string name_;
+  CacheConfig config_;
+  std::uint64_t sets_;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t locked_count_ = 0;
+};
+
+}  // namespace maco::mem

@@ -1,0 +1,27 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace maco::mem {
+
+DramController::DramController(std::string name, const DramConfig& config)
+    : name_(std::move(name)), config_(config) {
+  MACO_ASSERT_MSG(config.bandwidth_bytes_per_second > 0,
+                  name_ << ": bandwidth must be positive");
+}
+
+sim::TimePs DramController::access(sim::TimePs now, std::uint64_t bytes) {
+  ++requests_;
+  bytes_ += bytes;
+  const auto transfer_ps = static_cast<sim::TimePs>(std::llround(
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_second * 1e12));
+  const sim::TimePs start = std::max(now, bus_free_at_);
+  bus_free_at_ = start + transfer_ps;
+  busy_ps_ += transfer_ps;
+  return bus_free_at_ + config_.access_latency_ps;
+}
+
+}  // namespace maco::mem

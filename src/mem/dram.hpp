@@ -1,0 +1,54 @@
+// DDR controller model: fixed access latency plus a bandwidth-limited
+// service queue (token-bucket on the data bus).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace maco::mem {
+
+struct DramConfig {
+  double bandwidth_bytes_per_second = 25.6e9;  // one DDR4-3200 channel
+  sim::TimePs access_latency_ps = 60'000;      // row activation + CAS, ~60 ns
+};
+
+class DramController {
+ public:
+  DramController(std::string name, const DramConfig& config);
+
+  // Schedules a `bytes`-sized transfer arriving at `now`; returns the
+  // completion time. Transfers serialize on the data bus.
+  sim::TimePs access(sim::TimePs now, std::uint64_t bytes);
+
+  // Completion time the bus frees up (for back-pressure decisions).
+  sim::TimePs busy_until() const noexcept { return bus_free_at_; }
+
+  // Unqueued service time for `bytes` (latency + transfer, no bus booking).
+  sim::TimePs service_latency(std::uint64_t bytes) const noexcept {
+    return config_.access_latency_ps +
+           static_cast<sim::TimePs>(static_cast<double>(bytes) /
+                                    config_.bandwidth_bytes_per_second * 1e12);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const DramConfig& config() const noexcept { return config_; }
+  std::uint64_t bytes_transferred() const noexcept { return bytes_; }
+  std::uint64_t requests() const noexcept { return requests_; }
+  // Fraction of wall time the bus was busy since construction.
+  double utilization(sim::TimePs now) const noexcept {
+    return now ? static_cast<double>(busy_ps_) / static_cast<double>(now) : 0.0;
+  }
+  void reset_stats() noexcept { bytes_ = requests_ = busy_ps_ = 0; }
+
+ private:
+  std::string name_;
+  DramConfig config_;
+  sim::TimePs bus_free_at_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t busy_ps_ = 0;
+};
+
+}  // namespace maco::mem

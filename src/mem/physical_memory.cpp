@@ -1,0 +1,64 @@
+#include "mem/physical_memory.hpp"
+
+#include <algorithm>
+
+namespace maco::mem {
+
+PhysicalMemory::Block& PhysicalMemory::block_for(std::uint64_t addr) {
+  const std::uint64_t index = addr >> kBlockBits;
+  auto& slot = blocks_[index];
+  if (!slot) {
+    slot = std::make_unique<Block>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const PhysicalMemory::Block* PhysicalMemory::block_if_present(
+    std::uint64_t addr) const {
+  const auto it = blocks_.find(addr >> kBlockBits);
+  return it == blocks_.end() ? nullptr : it->second.get();
+}
+
+void PhysicalMemory::write(std::uint64_t addr, const void* data,
+                           std::uint64_t bytes) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const std::uint64_t offset = addr & (kBlockSize - 1);
+    const std::uint64_t chunk = std::min(bytes, kBlockSize - offset);
+    std::memcpy(block_for(addr).data() + offset, src, chunk);
+    addr += chunk;
+    src += chunk;
+    bytes -= chunk;
+  }
+}
+
+void PhysicalMemory::read(std::uint64_t addr, void* out,
+                          std::uint64_t bytes) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (bytes > 0) {
+    const std::uint64_t offset = addr & (kBlockSize - 1);
+    const std::uint64_t chunk = std::min(bytes, kBlockSize - offset);
+    if (const Block* block = block_if_present(addr)) {
+      std::memcpy(dst, block->data() + offset, chunk);
+    } else {
+      std::memset(dst, 0, chunk);  // untouched memory reads as zero
+    }
+    addr += chunk;
+    dst += chunk;
+    bytes -= chunk;
+  }
+}
+
+void PhysicalMemory::fill(std::uint64_t addr, std::uint64_t bytes,
+                          std::uint8_t value) {
+  while (bytes > 0) {
+    const std::uint64_t offset = addr & (kBlockSize - 1);
+    const std::uint64_t chunk = std::min(bytes, kBlockSize - offset);
+    std::memset(block_for(addr).data() + offset, value, chunk);
+    addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+}  // namespace maco::mem

@@ -1,0 +1,72 @@
+// Slave Task Queue (paper Section III.C).
+//
+// The MMAE-side mirror of the CPU's MTQ: receives a task's parameters from
+// the CPU core (identified by the same MAID), parses and stores them
+// locally, monitors execution, and reports status back to the matching MTQ
+// entry. Buffered tasks execute automatically, in arrival order, when the
+// active entry completes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "cpu/mtq.hpp"
+#include "isa/encoding.hpp"
+#include "isa/params.hpp"
+#include "vm/types.hpp"
+
+namespace maco::mmae {
+
+enum class StqState : std::uint8_t {
+  kFree,
+  kPending,    // parameters buffered, waiting for the active task to finish
+  kRunning,
+  kDone,
+  kException,
+};
+
+struct StqEntry {
+  StqState state = StqState::kFree;
+  cpu::Maid maid = 0;
+  vm::Asid asid = 0;
+  isa::Mnemonic op = isa::Mnemonic::kMaCfg;
+  // Decoded parameters (the STQ "parses parameters and saves them at its
+  // local registers").
+  std::variant<std::monostate, isa::GemmParams, isa::MoveParams,
+               isa::InitParams, isa::StashParams>
+      params;
+  cpu::ExceptionType exception = cpu::ExceptionType::kNone;
+};
+
+class SlaveTaskQueue {
+ public:
+  explicit SlaveTaskQueue(unsigned entries = 8);
+
+  // Accept a command from the CPU; false when all entries are busy.
+  bool push(cpu::Maid maid, isa::Mnemonic op, const isa::ParamBlock& block,
+            vm::Asid asid);
+
+  // Oldest pending entry index, if any (FIFO dispatch).
+  std::optional<unsigned> next_pending() const;
+
+  StqEntry& entry(unsigned index);
+  const StqEntry& entry(unsigned index) const;
+  unsigned capacity() const noexcept {
+    return static_cast<unsigned>(entries_.size());
+  }
+  unsigned occupied() const noexcept;
+
+  void mark_running(unsigned index);
+  void complete(unsigned index, cpu::ExceptionType exception);
+  // Frees the entry after status has been reported to the MTQ.
+  void release(unsigned index);
+
+ private:
+  std::vector<StqEntry> entries_;
+  std::deque<unsigned> pending_order_;
+};
+
+}  // namespace maco::mmae

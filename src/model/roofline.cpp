@@ -1,0 +1,2 @@
+// Roofline helpers are header-only; this TU anchors the module library.
+#include "model/roofline.hpp"

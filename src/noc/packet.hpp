@@ -1,0 +1,38 @@
+// NoC packet and flit types.
+//
+// The paper's NoC: 4×4 2D mesh, X-Y dimension-ordered routing, virtual
+// channels, 256-bit links at 2 GHz (64 GB/s per direction per link, i.e. the
+// quoted 128 GB/s bidirectional per compute node).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace maco::noc {
+
+using NodeId = int;
+
+// Message class maps to a virtual channel; separating requests from
+// responses keeps the cache-coherence protocol deadlock-free on top of the
+// deadlock-free X-Y routing.
+enum class MsgClass : unsigned { kRequest = 0, kResponse = 1 };
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t payload_bytes = 0;
+  MsgClass msg_class = MsgClass::kRequest;
+  std::uint64_t id = 0;        // unique, assigned at injection
+  std::uint64_t user_tag = 0;  // opaque cookie for the endpoint protocol
+  sim::TimePs injected_at = 0;
+};
+
+struct Flit {
+  std::shared_ptr<Packet> packet;
+  bool head = false;
+  bool tail = false;
+};
+
+}  // namespace maco::noc

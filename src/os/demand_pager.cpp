@@ -1,0 +1,36 @@
+#include "os/demand_pager.hpp"
+
+#include "util/bits.hpp"
+
+namespace maco::os {
+
+std::uint64_t DemandPager::map_range(core::Process& process,
+                                     vm::VirtAddr base, std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  std::uint64_t mapped = 0;
+  const vm::VirtAddr first = util::align_down(base, vm::kPageSize);
+  const vm::VirtAddr last =
+      util::align_down(base + bytes - 1, vm::kPageSize);
+  for (vm::VirtAddr page = first; page <= last; page += vm::kPageSize) {
+    if (process.space->map_page(page)) ++mapped;
+  }
+  return mapped;
+}
+
+RepairReport DemandPager::repair_gemm(core::Process& process,
+                                      const isa::GemmParams& params) {
+  RepairReport report;
+  const std::uint64_t elem = sa::element_bytes(params.precision);
+  report.pages_mapped += map_range(
+      process, params.a_base,
+      static_cast<std::uint64_t>(params.m) * params.k * elem);
+  report.pages_mapped += map_range(
+      process, params.b_base,
+      static_cast<std::uint64_t>(params.k) * params.n * elem);
+  report.pages_mapped += map_range(
+      process, params.c_base,
+      static_cast<std::uint64_t>(params.m) * params.n * elem);
+  return report;
+}
+
+}  // namespace maco::os

@@ -1,0 +1,47 @@
+// Demand paging for MMAE page faults.
+//
+// The paper's exception contract (Section III.C): a faulting task is
+// terminated by the MMAE, the MTQ entry records exception_en/type, and
+// software must inspect, recover and MA_CLEAR. This pager implements the
+// recovery: given the faulting task's GEMM parameters it maps every
+// missing page of the three dense operands (fresh zero frames — calloc
+// semantics), so a single re-dispatch runs fault-free.
+//
+// Restart safety: repairs happen before the retry, and the retry re-runs
+// the whole task. A fault can only interrupt a task before its first
+// C-tile write-back IF the unmapped pages include that tile's operands;
+// since the pager maps *all* operand pages at once, at most one retry ever
+// happens, and tasks that already wrote partial results would have needed
+// their C pages mapped — i.e. C faults strike on the read, before any
+// write. (See test_os.cpp: RepairedAccumulateTaskIsNumericallyCorrect.)
+#pragma once
+
+#include <cstdint>
+
+#include "core/maco_system.hpp"
+#include "isa/params.hpp"
+
+namespace maco::os {
+
+struct RepairReport {
+  std::uint64_t pages_mapped = 0;
+  bool anything_repaired() const noexcept { return pages_mapped > 0; }
+};
+
+class DemandPager {
+ public:
+  explicit DemandPager(core::MacoSystem& system) : system_(system) {}
+
+  // Maps every unmapped page of the task's A/B/C operands in `process`.
+  RepairReport repair_gemm(core::Process& process,
+                           const isa::GemmParams& params);
+
+  // Maps every unmapped page of [base, base+bytes).
+  std::uint64_t map_range(core::Process& process, vm::VirtAddr base,
+                          std::uint64_t bytes);
+
+ private:
+  core::MacoSystem& system_;
+};
+
+}  // namespace maco::os

@@ -1,0 +1,97 @@
+// A minimal operating-system layer over MacoSystem — the software the
+// paper's "modified Linux" plays on the FPGA prototype.
+//
+// The scheduler owns a set of jobs (process + GEMM task list) and drives
+// them round-robin over the chip's compute nodes, exercising exactly the
+// multi-process machinery of Section III.C:
+//   * context switches install a process's page table on a node while
+//     earlier tasks from OTHER processes are still in flight — the MTQ/STQ
+//     keep per-task state across switches (Fig. 3 state 3);
+//   * completions are harvested with MA_READ / MA_STATE;
+//   * MTQ exhaustion (MA_CFG returning the failure sentinel) backs off and
+//     retries after a drain;
+//   * page-fault exceptions are repaired by the demand pager (map the
+//     missing pages, MA_CLEAR, re-dispatch) when enabled, or surfaced as
+//     permanently failed tasks when not.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/maco_system.hpp"
+#include "os/demand_pager.hpp"
+
+namespace maco::os {
+
+struct GemmTask {
+  isa::GemmParams params;
+  bool done = false;       // completed without exception
+  bool failed = false;     // completed with an unrepairable exception
+  unsigned dispatches = 0; // 1 normally; >1 after fault repair
+};
+
+struct Job {
+  int id = 0;
+  core::Process* process = nullptr;
+  std::vector<GemmTask> tasks;
+
+  bool finished() const noexcept {
+    for (const auto& task : tasks) {
+      if (!task.done && !task.failed) return false;
+    }
+    return true;
+  }
+};
+
+struct SchedulerStats {
+  std::uint64_t context_switches = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t pages_mapped = 0;
+  std::uint64_t mtq_full_backoffs = 0;
+  std::uint64_t scheduling_rounds = 0;
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    unsigned nodes = 1;            // compute nodes the OS schedules on
+    unsigned slice_tasks = 2;      // tasks dispatched per slice
+    bool demand_paging = true;     // repair page faults vs fail the task
+    unsigned max_rounds = 10'000;  // runaway guard
+  };
+
+  Scheduler(core::MacoSystem& system, const Options& options);
+
+  Job& add_job(core::Process& process);
+
+  // Runs every job to completion (or permanent failure); returns stats.
+  SchedulerStats run_all();
+
+  // Deque: job references stay valid across add_job calls.
+  const std::deque<Job>& jobs() const noexcept { return jobs_; }
+
+ private:
+  struct InFlight {
+    cpu::Maid maid = 0;
+    int job = 0;
+    std::size_t task = 0;
+  };
+
+  // Dispatches up to slice_tasks of `job` on `node`; true if any dispatched.
+  bool dispatch_slice(unsigned node, Job& job);
+  // Harvests every in-flight task on `node`; repairs or finalizes.
+  void harvest(unsigned node);
+
+  core::MacoSystem& system_;
+  Options options_;
+  DemandPager pager_;
+  std::deque<Job> jobs_;
+  std::vector<std::vector<InFlight>> in_flight_;  // per node
+  std::vector<std::size_t> rr_cursor_;            // per node: next job index
+  SchedulerStats stats_;
+};
+
+}  // namespace maco::os

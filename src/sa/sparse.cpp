@@ -1,0 +1,74 @@
+#include "sa/sparse.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::sa {
+
+double prune_2_4_rows(HostMatrix& m) {
+  std::uint64_t kept = 0;
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t g = 0; g + 4 <= m.rows(); g += 4) {
+      // Rank the 4 magnitudes; zero the smallest two.
+      std::array<std::size_t, 4> index{g, g + 1, g + 2, g + 3};
+      std::sort(index.begin(), index.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return std::abs(m.at(x, c)) > std::abs(m.at(y, c));
+                });
+      m.at(index[2], c) = 0.0;
+      m.at(index[3], c) = 0.0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (m.at(g + i, c) != 0.0) ++kept;
+      }
+      total += 4;
+    }
+  }
+  return total ? static_cast<double>(kept) / static_cast<double>(total) : 0.0;
+}
+
+bool is_2_4_sparse_rows(const HostMatrix& m) {
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t g = 0; g + 4 <= m.rows(); g += 4) {
+      int nonzero = 0;
+      for (std::size_t i = 0; i < 4; ++i) {
+        if (m.at(g + i, c) != 0.0) ++nonzero;
+      }
+      if (nonzero > 2) return false;
+    }
+  }
+  return true;
+}
+
+SparseSaTiming compute_sparse_sa_timing(const TileShape& shape,
+                                        const SparseSaConfig& config) {
+  MACO_ASSERT(config.group > 0 && config.kept > 0 &&
+              config.kept <= config.group);
+  SparseSaTiming timing;
+  timing.dense_cycles =
+      compute_sa_timing(shape, config.dense).total_cycles;
+
+  // Compressed reduction depth: full groups keep `kept` of `group`
+  // elements; a ragged tail stays dense.
+  const std::uint64_t full_groups = shape.k / config.group;
+  const std::uint64_t tail = shape.k % config.group;
+  timing.k_compressed = full_groups * config.kept + tail;
+
+  // Same dataflow on the compressed depth, plus the select stage per pass.
+  TileShape compressed = shape;
+  compressed.k = std::max<std::uint64_t>(1, timing.k_compressed);
+  const SaTiming base = compute_sa_timing(compressed, config.dense);
+  timing.sparse_cycles =
+      base.total_cycles + base.passes * config.select_overhead_cycles;
+  timing.speedup = timing.sparse_cycles
+                       ? static_cast<double>(timing.dense_cycles) /
+                             static_cast<double>(timing.sparse_cycles)
+                       : 0.0;
+  return timing;
+}
+
+}  // namespace maco::sa

@@ -1,0 +1,51 @@
+// Structured 2:4 sparsity extension (beyond the paper).
+//
+// The paper's related work surveys sparse GEMM support on CPUs (SAVE,
+// SparCE, VEGETA); this module explores the natural MACO extension: the
+// stationary B operand (weights) is pruned 2:4 along the reduction
+// dimension — every group of 4 consecutive k-elements keeps at most 2
+// nonzeros — so the array preloads compressed B blocks plus 2-bit indices
+// and streams only the matching A elements. The reduction depth halves at
+// the cost of an index-select stage in each PE.
+//
+// Functional pruning runs on HostMatrix; the timing extension mirrors
+// sa::compute_sa_timing with compressed k and a per-pass select overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "sa/host_matrix.hpp"
+#include "sa/latency_model.hpp"
+#include "sa/systolic_array.hpp"
+
+namespace maco::sa {
+
+// Prunes `m` in place to 2:4 along its rows-of-4 in the ROW dimension
+// (groups m[g*4+0..3][j] per column j — the GEMM's reduction axis for the
+// B operand). Keeps the 2 largest magnitudes per group. Returns the
+// fraction of nonzeros kept (<= 0.5 for full groups).
+double prune_2_4_rows(HostMatrix& m);
+
+// True if every complete 4-row group of every column has <= 2 nonzeros.
+bool is_2_4_sparse_rows(const HostMatrix& m);
+
+struct SparseSaConfig {
+  SaConfig dense{};             // the underlying array
+  unsigned group = 4;           // N:M group size (M)
+  unsigned kept = 2;            // nonzeros kept per group (N)
+  // Extra cycles per pass for the index-select/mux stage feeding A.
+  sim::Cycles select_overhead_cycles = 2;
+};
+
+struct SparseSaTiming {
+  std::uint64_t dense_cycles = 0;    // same shape, dense array
+  std::uint64_t sparse_cycles = 0;   // with 2:4-compressed B
+  double speedup = 0.0;
+  std::uint64_t k_compressed = 0;    // effective reduction depth
+};
+
+// Timing for C(m×n) += A(m×k) * B(k×n) with B pruned kept:group along k.
+SparseSaTiming compute_sparse_sa_timing(const TileShape& shape,
+                                        const SparseSaConfig& config);
+
+}  // namespace maco::sa

@@ -1,0 +1,148 @@
+#include "sa/systolic_array.hpp"
+
+#include <vector>
+
+#include "sa/latency_model.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::sa {
+
+SystolicArray::SystolicArray(const SaConfig& config) : config_(config) {
+  MACO_ASSERT_MSG(config.rows > 0 && config.cols > 0,
+                  "systolic array must have at least one PE");
+}
+
+namespace {
+
+// Per-PE pipeline registers (previous-cycle outputs), one slot per SIMD lane.
+struct PeState {
+  std::vector<double> a;     // A value registered toward the right neighbor
+  std::vector<double> psum;  // partial sum registered toward the PE below
+};
+
+}  // namespace
+
+SaRunResult SystolicArray::run(const HostMatrix& a, const HostMatrix& b,
+                               HostMatrix& c) {
+  MACO_ASSERT(a.cols() == b.rows());
+  MACO_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
+
+  const unsigned p_rows = config_.rows;
+  const unsigned p_cols = config_.cols;
+  const unsigned ways = simd_ways(config_.precision);
+  const std::uint64_t m = a.rows();
+  const std::uint64_t k = a.cols();
+  const std::uint64_t n = b.cols();
+
+  const TileShape shape{m, n, k};
+  const SaTiming timing = compute_sa_timing(shape, config_);
+  const std::uint64_t nb_count = timing.n_blocks;
+  const std::uint64_t slots = timing.slots_per_pass;  // hazard-padded
+  const std::uint64_t passes = timing.passes;
+  const std::uint64_t total_slots = passes * slots;
+
+  // Pass order matches Fig. 1: all N blocks of k-block 0, then k-block 1...
+  auto pass_kb = [&](std::uint64_t q) { return q / nb_count; };
+  auto pass_nb = [&](std::uint64_t q) { return q % nb_count; };
+
+  // Stationary B element at PE (kr, nc) while pass q streams through it.
+  auto b_value = [&](std::uint64_t q, unsigned kr, unsigned nc) -> double {
+    const std::uint64_t kk = pass_kb(q) * p_rows + kr;
+    const std::uint64_t nn = pass_nb(q) * p_cols + nc;
+    return (kk < k && nn < n) ? b.at(kk, nn) : 0.0;
+  };
+
+  // A feed into array row kr at global slot g (lane = SIMD way along M).
+  auto feed_a = [&](std::uint64_t g, unsigned kr, unsigned lane) -> double {
+    const std::uint64_t q = g / slots;
+    const std::uint64_t row = (g % slots) * ways + lane;
+    const std::uint64_t kk = pass_kb(q) * p_rows + kr;
+    return (row < m && kk < k) ? a.at(row, kk) : 0.0;
+  };
+
+  // Maps (global slot, array column, lane) to the C element it carries.
+  auto c_index = [&](std::uint64_t g, unsigned nc, unsigned lane,
+                     std::uint64_t* row_out, std::uint64_t* col_out) -> bool {
+    const std::uint64_t q = g / slots;
+    const std::uint64_t row = (g % slots) * ways + lane;
+    const std::uint64_t col = pass_nb(q) * p_cols + nc;
+    if (row >= m || col >= n) return false;
+    *row_out = row;
+    *col_out = col;
+    return true;
+  };
+
+  std::vector<PeState> regs(p_rows * p_cols);
+  std::vector<PeState> next(p_rows * p_cols);
+  for (auto* bank : {&regs, &next}) {
+    for (auto& pe : *bank) {
+      pe.a.assign(ways, 0.0);
+      pe.psum.assign(ways, 0.0);
+    }
+  }
+  auto pe_at = [&](unsigned kr, unsigned nc) -> PeState& {
+    return regs[kr * p_cols + nc];
+  };
+
+  for (std::uint64_t t = 0; t < timing.stream_cycles; ++t) {
+    for (unsigned kr = 0; kr < p_rows; ++kr) {
+      // Feed validity at the row entry (nc == 0).
+      const bool feed_valid = t >= kr && (t - kr) < total_slots;
+      for (unsigned nc = 0; nc < p_cols; ++nc) {
+        PeState& out = next[kr * p_cols + nc];
+        // Both the A and psum wavefronts carry global slot t - kr - nc at
+        // this PE; the slot is in flight iff it is within the stream.
+        const bool slot_valid =
+            t >= kr + nc && (t - kr - nc) < total_slots;
+        const std::uint64_t g = slot_valid ? (t - kr - nc) : 0;
+        const std::uint64_t q = g / slots;
+        for (unsigned lane = 0; lane < ways; ++lane) {
+          // A value arriving this cycle: feed at the left edge, otherwise
+          // the left neighbor's registered value (shift unconditionally so
+          // in-flight values keep moving after the feed ends).
+          const double a_cur =
+              (nc == 0) ? (feed_valid ? feed_a(t - kr, kr, lane) : 0.0)
+                        : pe_at(kr, nc - 1).a[lane];
+          // Partial sum arriving from above; the top row streams C in.
+          double psum_cur = 0.0;
+          if (kr == 0) {
+            if (slot_valid) {
+              std::uint64_t row, col;
+              psum_cur = c_index(g, nc, lane, &row, &col) ? c.at(row, col)
+                                                          : 0.0;
+            }
+          } else {
+            psum_cur = pe_at(kr - 1, nc).psum[lane];
+          }
+          const double product =
+              slot_valid ? a_cur * b_value(q, kr, nc) : 0.0;
+          out.a[lane] = a_cur;
+          out.psum[lane] = psum_cur + product;
+        }
+        // Bottom row: updated C values exit the array.
+        if (kr == p_rows - 1 && slot_valid) {
+          for (unsigned lane = 0; lane < ways; ++lane) {
+            std::uint64_t row, col;
+            if (c_index(g, nc, lane, &row, &col)) {
+              c.at(row, col) = out.psum[lane];
+            }
+          }
+        }
+      }
+    }
+    regs.swap(next);
+  }
+
+  SaRunResult result;
+  result.cycles = timing.total_cycles;
+  result.passes = passes;
+  result.macs = shape.macs();
+  const double capacity = static_cast<double>(result.cycles) *
+                          static_cast<double>(p_rows) * p_cols * ways;
+  result.utilization =
+      capacity > 0 ? static_cast<double>(result.macs) / capacity : 0.0;
+  return result;
+}
+
+}  // namespace maco::sa

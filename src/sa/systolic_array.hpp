@@ -1,0 +1,54 @@
+// Cycle-accurate input-stationary systolic array (paper Fig. 1 / Fig. 2).
+//
+// Geometry: array row index = K dimension, array column index = N dimension.
+// A p×p block of B is stationary (B[k][n] in PE[k][n]). A values stream
+// left-to-right along array rows; partial sums flow top-to-bottom along
+// array columns, entering as the current C value and exiting as the updated
+// C value. A tile GEMM iterates B blocks in the paper's order (k-outer,
+// n-inner), streaming the full A block column through the array per pass
+// while C circulates through the on-chip buffer.
+//
+// The register-level simulation is exact in both function and cycle count;
+// `latency_model.hpp` provides the matching closed form used at system
+// scale, and tests assert the two agree.
+#pragma once
+
+#include <cstdint>
+
+#include "sa/host_matrix.hpp"
+#include "sa/types.hpp"
+#include "sim/time.hpp"
+
+namespace maco::sa {
+
+struct SaConfig {
+  unsigned rows = 4;  // p: array height (K direction)
+  unsigned cols = 4;  // p: array width (N direction)
+  Precision precision = Precision::kFp64;
+  // Double-buffered stationary registers let the next B block preload during
+  // the current pass; without them each pass pays a `rows`-cycle preload.
+  bool double_buffered_b = true;
+};
+
+struct SaRunResult {
+  sim::Cycles cycles = 0;
+  std::uint64_t macs = 0;        // useful multiply-accumulates performed
+  std::uint64_t passes = 0;      // B-block passes executed
+  double utilization = 0.0;      // macs / (cycles * rows * cols * ways)
+};
+
+class SystolicArray {
+ public:
+  explicit SystolicArray(const SaConfig& config);
+
+  const SaConfig& config() const noexcept { return config_; }
+
+  // C += A * B with functional results written into `c`.
+  // Shapes: a is m×k, b is k×n, c is m×n; none need divide the array size.
+  SaRunResult run(const HostMatrix& a, const HostMatrix& b, HostMatrix& c);
+
+ private:
+  SaConfig config_;
+};
+
+}  // namespace maco::sa

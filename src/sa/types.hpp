@@ -1,0 +1,42 @@
+// Numeric precisions supported by the MMAE systolic array.
+//
+// The paper extends the classical dataflow with SIMD-like compute modes:
+// FP64 (1-way), 2-way FP32 (Fig. 2(c)) and 4-way FP16 (Fig. 2(d)). The SIMD
+// ways run along the M dimension: each PE consumes `ways` A rows per cycle
+// against its stationary B element.
+#pragma once
+
+#include <cstdint>
+
+namespace maco::sa {
+
+enum class Precision { kFp64, kFp32, kFp16 };
+
+constexpr unsigned simd_ways(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp64: return 1;
+    case Precision::kFp32: return 2;
+    case Precision::kFp16: return 4;
+  }
+  return 1;
+}
+
+constexpr unsigned element_bytes(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp64: return 8;
+    case Precision::kFp32: return 4;
+    case Precision::kFp16: return 2;
+  }
+  return 8;
+}
+
+constexpr const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp64: return "FP64";
+    case Precision::kFp32: return "FP32";
+    case Precision::kFp16: return "FP16";
+  }
+  return "?";
+}
+
+}  // namespace maco::sa

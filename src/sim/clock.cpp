@@ -1,0 +1,22 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace maco::sim {
+
+ClockDomain::ClockDomain(std::string name, double frequency_hz)
+    : name_(std::move(name)), frequency_hz_(frequency_hz) {
+  MACO_ASSERT_MSG(frequency_hz > 0, "clock " << name_ << " frequency");
+  const double period = 1e12 / frequency_hz;
+  period_ps_ = static_cast<TimePs>(std::llround(period));
+  MACO_ASSERT_MSG(period_ps_ >= 1,
+                  "clock " << name_ << " above 1 THz is not representable");
+}
+
+ClockDomain make_cpu_clock() { return ClockDomain("cpu", 2.2e9); }
+ClockDomain make_mmae_clock() { return ClockDomain("mmae", 2.5e9); }
+ClockDomain make_noc_clock() { return ClockDomain("noc", 2.0e9); }
+
+}  // namespace maco::sim

@@ -1,0 +1,46 @@
+// Clock domains.
+//
+// A ClockDomain converts between its own cycle count and global picoseconds.
+// Periods are rounded to integer picoseconds (2.2 GHz -> 455 ps, i.e. +0.1%
+// frequency error); the paper's metrics are ratios, so this rounding is
+// harmless and documented in DESIGN.md.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace maco::sim {
+
+class ClockDomain {
+ public:
+  ClockDomain(std::string name, double frequency_hz);
+
+  const std::string& name() const noexcept { return name_; }
+  double frequency_hz() const noexcept { return frequency_hz_; }
+  TimePs period_ps() const noexcept { return period_ps_; }
+
+  TimePs cycles_to_ps(Cycles cycles) const noexcept {
+    return cycles * period_ps_;
+  }
+  // Rounds up: an event taking a fraction of a cycle occupies the cycle.
+  Cycles ps_to_cycles(TimePs ps) const noexcept {
+    return (ps + period_ps_ - 1) / period_ps_;
+  }
+  // The first domain-clock edge at or after `t`.
+  TimePs next_edge_at_or_after(TimePs t) const noexcept {
+    return ((t + period_ps_ - 1) / period_ps_) * period_ps_;
+  }
+
+ private:
+  std::string name_;
+  double frequency_hz_;
+  TimePs period_ps_;
+};
+
+// The three MACO clock domains with the paper's frequencies.
+ClockDomain make_cpu_clock();    // 2.2 GHz
+ClockDomain make_mmae_clock();   // 2.5 GHz
+ClockDomain make_noc_clock();    // 2.0 GHz
+
+}  // namespace maco::sim

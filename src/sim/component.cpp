@@ -1,0 +1,12 @@
+#include "sim/component.hpp"
+
+namespace maco::sim {
+
+Component::Component(SimEngine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+Component::Component(Component& parent, std::string local_name)
+    : engine_(parent.engine()),
+      name_(parent.name() + "." + std::move(local_name)) {}
+
+}  // namespace maco::sim

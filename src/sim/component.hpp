@@ -1,0 +1,37 @@
+// Component base: a named node in the hardware hierarchy with access to the
+// shared engine and a dotted stats prefix ("node3.mmae.dma0").
+#pragma once
+
+#include <string>
+
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace maco::sim {
+
+class Component {
+ public:
+  Component(SimEngine& engine, std::string name);
+  Component(Component& parent, std::string local_name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  SimEngine& engine() noexcept { return engine_; }
+  const std::string& name() const noexcept { return name_; }
+  TimePs now() const noexcept { return engine_.now(); }
+
+  util::Counter& counter(const std::string& stat) {
+    return engine_.stats().counter(name_ + "." + stat);
+  }
+  util::Scalar& scalar(const std::string& stat) {
+    return engine_.stats().scalar(name_ + "." + stat);
+  }
+
+ private:
+  SimEngine& engine_;
+  std::string name_;
+};
+
+}  // namespace maco::sim

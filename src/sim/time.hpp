@@ -1,0 +1,25 @@
+// Simulated time.
+//
+// Global simulated time is an integer count of picoseconds. MACO has three
+// clock domains (CPU 2.2 GHz, MMAE 2.5 GHz, NoC/L3 2.0 GHz); expressing
+// everything in ps keeps cross-domain event ordering exact while letting each
+// component reason in its own cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace maco::sim {
+
+using TimePs = std::uint64_t;
+using Cycles = std::uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1000;
+inline constexpr TimePs kPsPerUs = 1000 * kPsPerNs;
+inline constexpr TimePs kPsPerMs = 1000 * kPsPerUs;
+inline constexpr TimePs kPsPerSecond = 1000 * kPsPerMs;
+
+inline constexpr double to_seconds(TimePs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPsPerSecond);
+}
+
+}  // namespace maco::sim

@@ -1,0 +1,42 @@
+// Invariant checking for the simulator.
+//
+// MACO_ASSERT is active in all build types: a simulator that silently
+// continues past a broken microarchitectural invariant produces numbers that
+// look plausible and are wrong, which is worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace maco::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "MACO_ASSERT failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (!msg.empty()) std::fprintf(stderr, "  %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace maco::util
+
+#define MACO_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) ::maco::util::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MACO_ASSERT_MSG(expr, ...)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream maco_assert_oss_;                             \
+      maco_assert_oss_ << __VA_ARGS__;                                 \
+      ::maco::util::assert_fail(#expr, __FILE__, __LINE__,             \
+                                maco_assert_oss_.str());               \
+    }                                                                  \
+  } while (0)
+
+// Unreachable code marker (e.g. exhaustive switch fallthrough).
+#define MACO_UNREACHABLE(msg) \
+  ::maco::util::assert_fail("unreachable", __FILE__, __LINE__, msg)

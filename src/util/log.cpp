@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+namespace maco::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_write(LogLevel level, std::string_view component,
+               const std::string& message) {
+  std::ostream& os = (level <= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << '[' << log_level_name(level) << "] " << component << ": " << message
+     << '\n';
+}
+
+}  // namespace detail
+}  // namespace maco::util

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator is quiet by default (benches must print only their tables);
+// tests and examples can raise the level per component for debugging.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace maco::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+// Global log level; thread safety is not required (the simulator is
+// single-threaded by design so event ordering stays deterministic).
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               const std::string& message);
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, Args&&... args) {
+  if (level > log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  detail::log_write(level, component, oss.str());
+}
+
+}  // namespace maco::util
+
+#define MACO_LOG_ERROR(component, ...) \
+  ::maco::util::log(::maco::util::LogLevel::kError, component, __VA_ARGS__)
+#define MACO_LOG_WARN(component, ...) \
+  ::maco::util::log(::maco::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define MACO_LOG_INFO(component, ...) \
+  ::maco::util::log(::maco::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define MACO_LOG_DEBUG(component, ...) \
+  ::maco::util::log(::maco::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define MACO_LOG_TRACE(component, ...) \
+  ::maco::util::log(::maco::util::LogLevel::kTrace, component, __VA_ARGS__)

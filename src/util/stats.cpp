@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace maco::util {
+
+void Scalar::record(double sample) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+void Scalar::reset() noexcept {
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      bins_(buckets + 2, 0) {
+  MACO_ASSERT_MSG(hi > lo && buckets > 0,
+                  "histogram range [" << lo << "," << hi << ") x " << buckets);
+}
+
+void Histogram::record(double sample) noexcept {
+  summary_.record(sample);
+  std::size_t bin;
+  if (sample < lo_) {
+    bin = 0;
+  } else if (sample >= hi_) {
+    bin = bins_.size() - 1;
+  } else {
+    bin = 1 + static_cast<std::size_t>((sample - lo_) / bucket_width_);
+    bin = std::min(bin, bins_.size() - 2);
+  }
+  ++bins_[bin];
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (summary_.count() == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(summary_.count());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      if (i == 0) return lo_;
+      if (i == bins_.size() - 1) return summary_.max();
+      const double frac = (target - cumulative) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i - 1) + frac) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return summary_.max();
+}
+
+void Histogram::reset() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  summary_.reset();
+}
+
+Counter& StatRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Scalar& StatRegistry::scalar(const std::string& name) {
+  return scalars_[name];
+}
+
+void StatRegistry::report(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, s] : scalars_) {
+    os << name << " count=" << s.count() << " mean=" << s.mean()
+       << " min=" << s.min() << " max=" << s.max() << '\n';
+  }
+}
+
+void StatRegistry::reset_all() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, s] : scalars_) s.reset();
+}
+
+}  // namespace maco::util

@@ -1,0 +1,82 @@
+// Statistics primitives: counters, scalar gauges and histograms, collected
+// into a registry so components can dump a coherent report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace maco::util {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Streaming scalar summary (count/sum/min/max/mean) without storing samples.
+class Scalar {
+ public:
+  void record(double sample) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  void reset() noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket histogram over [lo, hi) with uniform buckets plus
+// under/overflow bins; used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void record(double sample) noexcept;
+  std::uint64_t count() const noexcept { return summary_.count(); }
+  double mean() const noexcept { return summary_.mean(); }
+  double min() const noexcept { return summary_.min(); }
+  double max() const noexcept { return summary_.max(); }
+  // p in [0, 1]; linear interpolation inside the bucket.
+  double percentile(double p) const noexcept;
+  const std::vector<std::uint64_t>& buckets() const noexcept { return bins_; }
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> bins_;  // [underflow, b0..bn-1, overflow]
+  Scalar summary_;
+};
+
+// Flat name -> value registry. Components register stats under
+// hierarchical dotted names ("node0.mmae.dma0.bytes_read").
+class StatRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Scalar& scalar(const std::string& name);
+
+  // Dumps "name value" lines sorted by name.
+  void report(std::ostream& os) const;
+  void reset_all();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Scalar> scalars_;
+};
+
+}  // namespace maco::util

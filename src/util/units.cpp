@@ -1,0 +1,56 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace maco::util {
+
+namespace {
+
+std::string scaled(double value, const char* const* suffixes, int count,
+                   double base, const char* unit) {
+  int idx = 0;
+  while (value >= base && idx + 1 < count) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s%s", value, suffixes[idx], unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const suffixes[] = {"", "Ki", "Mi", "Gi", "Ti"};
+  return scaled(static_cast<double>(bytes), suffixes, 5, 1024.0, "B");
+}
+
+std::string format_flops(double flops_per_second) {
+  static const char* const suffixes[] = {"", "K", "M", "G", "T", "P"};
+  return scaled(flops_per_second, suffixes, 6, 1000.0, "FLOPS");
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  static const char* const suffixes[] = {"", "K", "M", "G", "T"};
+  return scaled(bytes_per_second, suffixes, 5, 1000.0, "B/s");
+}
+
+std::string format_frequency(double hertz) {
+  static const char* const suffixes[] = {"", "K", "M", "G", "T"};
+  return scaled(hertz, suffixes, 5, 1000.0, "Hz");
+}
+
+std::string format_time_ps(std::uint64_t picoseconds) {
+  static const char* const suffixes[] = {"ps", "ns", "us", "ms", "s"};
+  double value = static_cast<double>(picoseconds);
+  int idx = 0;
+  while (value >= 1000.0 && idx + 1 < 5) {
+    value /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f %s", value, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace maco::util

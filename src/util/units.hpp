@@ -1,0 +1,33 @@
+// Unit formatting/constants shared by configs and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace maco::util {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// "48 KiB", "1.5 MiB" — powers of 1024.
+std::string format_bytes(std::uint64_t bytes);
+
+// "80.0 GFLOPS", "1.10 TFLOPS" — decimal scaling of FLOP/s.
+std::string format_flops(double flops_per_second);
+
+// "64.0 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+// "2.50 GHz".
+std::string format_frequency(double hertz);
+
+// "1.234 ms" / "56.7 us" / "890 ns" from picoseconds.
+std::string format_time_ps(std::uint64_t picoseconds);
+
+}  // namespace maco::util

@@ -1,0 +1,49 @@
+// Matrix memory-layout descriptors.
+//
+// The mATLB prediction (paper Fig. 4) is driven entirely by geometry: the
+// matrix base/shape/stride, the tile position/shape, and the page size
+// determine which pages a tile's DMA stream touches and in what order.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "vm/types.hpp"
+
+namespace maco::vm {
+
+// Row-major matrix in virtual memory.
+struct MatrixDesc {
+  VirtAddr base = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t elem_bytes = 8;        // FP64 by default
+  std::uint64_t row_stride_bytes = 0;  // 0 => dense (cols * elem_bytes)
+
+  std::uint64_t stride() const noexcept {
+    return row_stride_bytes ? row_stride_bytes : cols * elem_bytes;
+  }
+  VirtAddr element_addr(std::uint64_t r, std::uint64_t c) const noexcept {
+    return base + r * stride() + c * elem_bytes;
+  }
+  std::uint64_t footprint_bytes() const noexcept {
+    return rows ? (rows - 1) * stride() + cols * elem_bytes : 0;
+  }
+};
+
+// A rectangular tile within a matrix.
+struct TileDesc {
+  std::uint64_t row0 = 0;
+  std::uint64_t col0 = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+};
+
+inline void validate_tile(const MatrixDesc& m, const TileDesc& t) {
+  MACO_ASSERT_MSG(t.row0 + t.rows <= m.rows && t.col0 + t.cols <= m.cols,
+                  "tile [" << t.row0 << "+" << t.rows << ", " << t.col0 << "+"
+                           << t.cols << ") outside matrix " << m.rows << "x"
+                           << m.cols);
+}
+
+}  // namespace maco::vm

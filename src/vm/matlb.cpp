@@ -1,0 +1,110 @@
+#include "vm/matlb.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace maco::vm {
+
+std::vector<VirtAddr> predict_page_entries(const MatrixDesc& matrix,
+                                           const TileDesc& tile,
+                                           std::uint64_t page_bytes) {
+  MACO_ASSERT(page_bytes > 0);
+  validate_tile(matrix, tile);
+  std::vector<VirtAddr> entries;
+  std::uint64_t last_vpn = ~0ull;
+  for (std::uint64_t r = 0; r < tile.rows; ++r) {
+    const VirtAddr row_start = matrix.element_addr(tile.row0 + r, tile.col0);
+    const VirtAddr row_end = row_start + tile.cols * matrix.elem_bytes;
+    // First touch in the row's first page, then each page boundary crossed.
+    VirtAddr addr = row_start;
+    while (addr < row_end) {
+      if (addr / page_bytes != last_vpn) {
+        entries.push_back(addr);
+        last_vpn = addr / page_bytes;
+      }
+      // Advance to the first element of the next page touched by this row.
+      const VirtAddr next_page = (addr / page_bytes + 1) * page_bytes;
+      if (next_page >= row_end) break;
+      // Elements are contiguous within the row, so the first element in the
+      // next page starts at the first element boundary >= next_page.
+      const std::uint64_t into_row = next_page - row_start;
+      const std::uint64_t elem_index =
+          (into_row + matrix.elem_bytes - 1) / matrix.elem_bytes;
+      addr = row_start + elem_index * matrix.elem_bytes;
+    }
+  }
+  return entries;
+}
+
+std::vector<VirtAddr> predict_page_entries(const MatrixDesc& matrix,
+                                           const TileDesc& tile) {
+  return predict_page_entries(matrix, tile, kPageSize);
+}
+
+std::uint64_t distinct_pages(const MatrixDesc& matrix, const TileDesc& tile) {
+  std::unordered_set<std::uint64_t> pages;
+  for (const VirtAddr va : predict_page_entries(matrix, tile)) {
+    pages.insert(vpn_of(va));
+  }
+  return pages.size();
+}
+
+Matlb::Matlb(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  MACO_ASSERT_MSG(capacity_ > 0, "mATLB " << name_ << " needs capacity");
+}
+
+Matlb::PrefillReport Matlb::prefill(Asid asid, const PageTable& table,
+                                    PageTableWalker& walker,
+                                    const MatrixDesc& matrix,
+                                    const TileDesc& tile, sim::TimePs start) {
+  PrefillReport report;
+  sim::TimePs ready = start;
+  for (const VirtAddr va : predict_page_entries(matrix, tile)) {
+    if (buffer_.size() >= capacity_) {
+      ++report.dropped_capacity;
+      continue;
+    }
+    const WalkOutcome outcome = walker.walk(asid, table, va);
+    if (!outcome.valid) {
+      ++report.faults;
+      continue;
+    }
+    ready += outcome.latency;
+    report.total_walk_latency += outcome.latency;
+    buffer_.push_back(Entry{vpn_of(va), ppn_of(outcome.phys), ready});
+    ++report.predicted_pages;
+  }
+  return report;
+}
+
+Matlb::LookupResult Matlb::lookup(VirtAddr va, sim::TimePs now) {
+  const std::uint64_t vpn = vpn_of(va);
+  // Retire entries the stream has moved past (paper: "removed from the
+  // buffer once it fails to match the current virtual address").
+  while (!buffer_.empty() && buffer_.front().vpn != vpn) {
+    buffer_.pop_front();
+    ++retired_;
+  }
+  if (buffer_.empty()) {
+    ++misses_;
+    return LookupResult{};
+  }
+  const Entry& head = buffer_.front();
+  ++hits_;
+  LookupResult result;
+  result.hit = true;
+  result.phys = (head.ppn << kPageBits) | page_offset(va);
+  if (head.ready_at > now) {
+    result.wait = head.ready_at - now;
+    ++late_;
+  }
+  return result;
+}
+
+void Matlb::flush() noexcept {
+  buffer_.clear();
+}
+
+}  // namespace maco::vm

@@ -1,0 +1,67 @@
+#include "vm/tlb.hpp"
+
+#include "util/assert.hpp"
+
+namespace maco::vm {
+
+Tlb::Tlb(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  MACO_ASSERT_MSG(capacity_ > 0, "TLB " << name_ << " needs capacity");
+}
+
+std::optional<std::uint64_t> Tlb::lookup(Asid asid, std::uint64_t vpn) {
+  const Key key{asid, vpn};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+  return it->second->ppn;
+}
+
+bool Tlb::contains(Asid asid, std::uint64_t vpn) const {
+  return index_.contains(Key{asid, vpn});
+}
+
+void Tlb::insert(Asid asid, std::uint64_t vpn, std::uint64_t ppn) {
+  const Key key{asid, vpn};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->ppn = ppn;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() == capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, ppn});
+  index_[key] = lru_.begin();
+}
+
+void Tlb::invalidate(Asid asid, std::uint64_t vpn) {
+  const auto it = index_.find(Key{asid, vpn});
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void Tlb::invalidate_asid(Asid asid) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.asid == asid) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Tlb::invalidate_all() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace maco::vm

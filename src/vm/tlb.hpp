@@ -1,0 +1,73 @@
+// Fully-associative LRU TLB, keyed by (ASID, VPN).
+//
+// Models the paper's L1 ITLB/DTLB (48 entries) and the shared L2 TLB
+// (1024 entries) that the MMAE reaches through its custom sTLB interface.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "vm/types.hpp"
+
+namespace maco::vm {
+
+class Tlb {
+ public:
+  Tlb(std::string name, std::size_t capacity);
+
+  // On hit returns the PPN and refreshes recency.
+  std::optional<std::uint64_t> lookup(Asid asid, std::uint64_t vpn);
+  // Probe without touching recency or statistics (diagnostics).
+  bool contains(Asid asid, std::uint64_t vpn) const;
+
+  void insert(Asid asid, std::uint64_t vpn, std::uint64_t ppn);
+  void invalidate(Asid asid, std::uint64_t vpn);
+  void invalidate_asid(Asid asid);
+  void invalidate_all();
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return lru_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  void reset_stats() noexcept { hits_ = misses_ = evictions_ = 0; }
+
+ private:
+  struct Key {
+    Asid asid;
+    std::uint64_t vpn;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      // vpn entropy dominates; fold the ASID into the high bits.
+      return std::hash<std::uint64_t>()(k.vpn ^
+                                        (static_cast<std::uint64_t>(k.asid)
+                                         << 48));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t ppn;
+  };
+  using LruList = std::list<Entry>;
+
+  std::string name_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace maco::vm

@@ -1,0 +1,25 @@
+// Address-space primitive types shared across the virtual-memory subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace maco::vm {
+
+using VirtAddr = std::uint64_t;
+using PhysAddr = std::uint64_t;
+using Asid = std::uint16_t;  // process identifier carried by MTQ entries
+
+inline constexpr unsigned kPageBits = 12;  // 4 KiB pages (paper, Fig. 4)
+inline constexpr std::uint64_t kPageSize = 1ull << kPageBits;
+
+inline constexpr std::uint64_t vpn_of(VirtAddr va) noexcept {
+  return va >> kPageBits;
+}
+inline constexpr std::uint64_t ppn_of(PhysAddr pa) noexcept {
+  return pa >> kPageBits;
+}
+inline constexpr std::uint64_t page_offset(std::uint64_t addr) noexcept {
+  return addr & (kPageSize - 1);
+}
+
+}  // namespace maco::vm

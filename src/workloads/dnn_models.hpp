@@ -1,0 +1,25 @@
+// DNN inference workloads used in Fig. 8: ResNet-50, BERT and GPT-3, all in
+// FP32, expressed as GEMM layer sequences with their non-GEMM post-ops.
+//
+// Convolutions become GEMMs by im2col: M = output channels,
+// N = batch × output H × W, K = input channels × kernel H × W.
+// Attention blocks expand into QKV/score/context/projection/FFN GEMMs.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/gemm_workload.hpp"
+
+namespace maco::wl {
+
+// ResNet-50 inference (He et al., CVPR'16), conv+fc layers as GEMMs.
+Workload resnet50(unsigned batch = 8);
+
+// BERT-Base encoder stack (Devlin et al.): 12 layers, hidden 768, 12 heads.
+Workload bert_base(unsigned batch = 8, unsigned seq_len = 384);
+
+// GPT-3 175B decoder stack (Brown et al.): 96 layers, hidden 12288,
+// 96 heads; one forward pass over `seq_len` tokens.
+Workload gpt3(unsigned batch = 1, unsigned seq_len = 2048);
+
+}  // namespace maco::wl

@@ -1,0 +1,32 @@
+#include "workloads/hpl.hpp"
+
+namespace maco::wl {
+
+std::vector<sa::TileShape> hpl_trailing_updates(std::uint64_t n,
+                                                std::uint64_t nb) {
+  std::vector<sa::TileShape> shapes;
+  for (std::uint64_t j = nb; j < n; j += nb) {
+    const std::uint64_t trailing = n - j;
+    shapes.push_back(sa::TileShape{trailing, trailing, nb});
+  }
+  return shapes;
+}
+
+Workload hpl_workload(std::uint64_t n, std::uint64_t nb) {
+  Workload w;
+  w.name = "hpl-" + std::to_string(n);
+  w.precision = sa::Precision::kFp64;
+  unsigned index = 0;
+  for (const auto& shape : hpl_trailing_updates(n, nb)) {
+    w.layers.push_back(Layer{"update" + std::to_string(index++), shape,
+                             PostOp::kNone, 1});
+  }
+  return w;
+}
+
+double lu_flops(std::uint64_t n) {
+  const double nd = static_cast<double>(n);
+  return 2.0 / 3.0 * nd * nd * nd;
+}
+
+}  // namespace maco::wl

@@ -1,0 +1,28 @@
+// HPL-style workload generation.
+//
+// The paper sources its GEMM kernels from the open-source HPL package
+// (High-Performance Linpack). The dominant kernel in HPL's right-looking LU
+// is the trailing-submatrix update: after factoring an nb-wide panel, the
+// remaining (N - j·nb)² block receives a GEMM update of depth nb. This
+// module reproduces that shape sequence for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/gemm_workload.hpp"
+
+namespace maco::wl {
+
+// The trailing-update GEMM shapes of an N×N LU factorization with panel
+// width nb (largest first), i.e. (N-nb)×(N-nb)×nb, (N-2nb)×..., down to nb.
+std::vector<sa::TileShape> hpl_trailing_updates(std::uint64_t n,
+                                                std::uint64_t nb = 256);
+
+// Full workload wrapper (FP64, as HPL).
+Workload hpl_workload(std::uint64_t n, std::uint64_t nb = 256);
+
+// Total FLOPs of LU ≈ 2/3 N³ (sanity anchor for the shape list).
+double lu_flops(std::uint64_t n);
+
+}  // namespace maco::wl

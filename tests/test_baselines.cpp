@@ -1,0 +1,147 @@
+// Fig. 8 comparator: ordering and rough magnitudes of the five systems.
+#include <gtest/gtest.h>
+
+#include "baselines/comparison.hpp"
+#include "workloads/dnn_models.hpp"
+
+namespace maco::baseline {
+namespace {
+
+class ComparatorTest : public ::testing::Test {
+ protected:
+  ComparatorTest()
+      : comparator_(core::SystemConfig::maco_default(), 16) {}
+  Comparator comparator_;
+};
+
+TEST_F(ComparatorTest, PeakNormalization) {
+  // 16 nodes × 16 PEs × 2 FLOPs × 2.5 GHz = 1.28 TFLOPS.
+  EXPECT_NEAR(comparator_.accelerator_peak_flops(), 1.28e12, 1e9);
+}
+
+TEST_F(ComparatorTest, MacoWinsOnEveryWorkload) {
+  for (const auto& workload :
+       {wl::resnet50(8), wl::bert_base(8, 384), wl::gpt3(1, 2048)}) {
+    const auto results = comparator_.run_all(workload);
+    ASSERT_EQ(results.size(), 5u);
+    const double maco = results.back().gflops;
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+      EXPECT_GT(maco, results[i].gflops)
+          << workload.name << ": " << results[i].system;
+    }
+  }
+}
+
+TEST_F(ComparatorTest, Fig8RatiosInPaperBands) {
+  // Average ratios over the three workloads; the paper reports MACO at
+  // 3.30× Baseline-1, 1.45× Baseline-2, 1.35× RASA, 1.30× Gemmini.
+  double r_b1 = 0, r_b2 = 0, r_rasa = 0, r_gemmini = 0;
+  const std::vector<wl::Workload> workloads = {
+      wl::resnet50(8), wl::bert_base(8, 384), wl::gpt3(1, 2048)};
+  for (const auto& workload : workloads) {
+    const auto results = comparator_.run_all(workload);
+    const double maco = results[4].gflops;
+    r_b1 += maco / results[0].gflops;
+    r_b2 += maco / results[1].gflops;
+    r_rasa += maco / results[2].gflops;
+    r_gemmini += maco / results[3].gflops;
+  }
+  r_b1 /= workloads.size();
+  r_b2 /= workloads.size();
+  r_rasa /= workloads.size();
+  r_gemmini /= workloads.size();
+
+  EXPECT_NEAR(r_b1, 3.30, 0.80);
+  EXPECT_NEAR(r_b2, 1.45, 0.35);
+  EXPECT_NEAR(r_rasa, 1.35, 0.35);
+  EXPECT_NEAR(r_gemmini, 1.30, 0.30);
+  // Orderings the paper reports: RASA slowest of the two comparators.
+  EXPECT_GT(r_rasa, r_gemmini);
+}
+
+TEST_F(ComparatorTest, MacoPeakThroughputNearPaper) {
+  // "up to 1.1 TFLOPS with 88% computational efficiency" — the largest
+  // GEMMs (GPT-3) carry the peak.
+  const auto result = comparator_.run_maco(wl::gpt3(1, 2048));
+  EXPECT_GT(result.gflops, 950.0);
+  EXPECT_LT(result.gflops, 1280.0);
+  EXPECT_GT(result.efficiency, 0.80);
+  EXPECT_LT(result.efficiency, 1.0);
+}
+
+TEST_F(ComparatorTest, ResnetLowerThanGpt3) {
+  // Skinny conv GEMMs utilize the array worse than GPT-3's giant GEMMs.
+  const double resnet = comparator_.run_maco(wl::resnet50(8)).gflops;
+  const double gpt = comparator_.run_maco(wl::gpt3(1, 2048)).gflops;
+  EXPECT_LT(resnet, gpt);
+}
+
+TEST_F(ComparatorTest, Baseline1BoundByCpuPeak) {
+  const auto result =
+      comparator_.run_baseline1_cpu_only(wl::bert_base(8, 384));
+  EXPECT_LT(result.gflops * 1e9,
+            comparator_.cpu_peak_flops(sa::Precision::kFp32));
+  EXPECT_GT(result.gflops, 0.0);
+}
+
+TEST_F(ComparatorTest, ResultsCarryMetadata) {
+  const auto results = comparator_.run_all(wl::resnet50(8));
+  EXPECT_EQ(results[0].system, "Baseline-1");
+  EXPECT_EQ(results[1].system, "Baseline-2");
+  EXPECT_EQ(results[2].system, "Gem5-RASA");
+  EXPECT_EQ(results[3].system, "Gemmini");
+  EXPECT_EQ(results[4].system, "MACO");
+  for (const auto& r : results) {
+    EXPECT_EQ(r.workload, "Resnet-50");
+    EXPECT_GT(r.time_ps, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace maco::baseline
+
+namespace maco::baseline {
+namespace {
+
+TEST(ComparatorMore, EveryAcceleratedSystemBeatsCpuOnly) {
+  const Comparator comparator(core::SystemConfig::maco_default(), 16);
+  const auto results = comparator.run_all(wl::bert_base(8, 384));
+  const double cpu_only = results[0].gflops;
+  for (std::size_t s = 1; s < results.size(); ++s) {
+    EXPECT_GT(results[s].gflops, cpu_only) << results[s].system;
+  }
+}
+
+TEST(ComparatorMore, SingleEngineComparatorsAreBandwidthStarved) {
+  // The equal-PE normalization is the paper's point: 256 PEs behind one
+  // memory path (RASA/Gemmini) sustain less than 16 distributed engines.
+  const Comparator comparator(core::SystemConfig::maco_default(), 16);
+  const auto results = comparator.run_all(wl::gpt3(1, 2048));
+  const double rasa = results[2].gflops;
+  const double gemmini = results[3].gflops;
+  const double maco = results[4].gflops;
+  EXPECT_LT(rasa, 0.8 * maco);
+  EXPECT_LT(gemmini, 0.8 * maco);
+}
+
+TEST(ComparatorMore, EfficiencyAgainstNormalizedPeakBounded) {
+  const Comparator comparator(core::SystemConfig::maco_default(), 16);
+  for (const auto& workload : {wl::resnet50(8), wl::bert_base(8, 384)}) {
+    const auto results = comparator.run_all(workload);
+    for (const auto& result : results) {
+      EXPECT_GT(result.efficiency, 0.0) << result.system;
+      EXPECT_LE(result.efficiency, 1.0) << result.system;
+    }
+  }
+}
+
+TEST(ComparatorMore, FewerNodesScaleMacoDown) {
+  const Comparator full(core::SystemConfig::maco_default(), 16);
+  const Comparator quarter(core::SystemConfig::maco_default(), 4);
+  const auto big = full.run_maco(wl::bert_base(8, 384));
+  const auto small = quarter.run_maco(wl::bert_base(8, 384));
+  EXPECT_GT(big.gflops, 2.5 * small.gflops);
+}
+
+}  // namespace
+}  // namespace maco::baseline

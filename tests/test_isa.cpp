@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "isa/params.hpp"
+#include "isa/regfile.hpp"
+
+namespace maco::isa {
+namespace {
+
+TEST(Encoding, RoundTripAllMnemonics) {
+  for (int op = 0; op <= static_cast<int>(Mnemonic::kMaClear); ++op) {
+    Instruction in;
+    in.op = static_cast<Mnemonic>(op);
+    in.rd = 5;
+    in.rn = 10;
+    const auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value()) << mnemonic_name(in.op);
+    EXPECT_EQ(*out, in);
+  }
+}
+
+TEST(Encoding, RejectsForeignWords) {
+  EXPECT_FALSE(decode(0x00000000).has_value());
+  EXPECT_FALSE(decode(0xD503201F).has_value());  // ARMv8 NOP
+  // Reserved bits must be zero.
+  const std::uint32_t word = encode({Mnemonic::kMaCfg, 1, 2}) | (1u << 7);
+  EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Encoding, MajorOpcodeInTopByte) {
+  const std::uint32_t word = encode({Mnemonic::kMaRead, 3, 4});
+  EXPECT_EQ(word >> 24, kMpaisMajorOpcode);
+}
+
+TEST(RegFile, ZeroRegisterReadsZero) {
+  RegFile regs;
+  regs.write(kZeroRegister, 0xDEAD);
+  EXPECT_EQ(regs.read(kZeroRegister), 0u);
+}
+
+TEST(RegFile, ParamBlockRoundTrip) {
+  RegFile regs;
+  ParamBlock block{1, 2, 3, 4, 5, 6};
+  regs.write_param_block(10, block);
+  EXPECT_EQ(regs.read_param_block(10), block);
+  EXPECT_EQ(regs.read(12), 3u);
+}
+
+TEST(Params, GemmRoundTrip) {
+  GemmParams p;
+  p.a_base = 0x100000000;
+  p.b_base = 0x200000000;
+  p.c_base = 0x300000000;
+  p.m = 4096;
+  p.n = 9216;
+  p.k = 1024;
+  p.precision = sa::Precision::kFp16;
+  p.accumulate = false;
+  p.tile_rows = 1024;
+  p.tile_cols = 1024;
+  p.inner_tile_rows = 64;
+  p.inner_tile_cols = 64;
+  EXPECT_EQ(GemmParams::unpack(p.pack()), p);
+}
+
+TEST(Params, GemmDefaultsMatchPaperTiling) {
+  const GemmParams p;
+  EXPECT_EQ(p.tile_rows, 1024);
+  EXPECT_EQ(p.tile_cols, 1024);
+  EXPECT_EQ(p.inner_tile_rows, 64);
+  EXPECT_EQ(p.inner_tile_cols, 64);
+}
+
+TEST(Params, MoveRoundTrip) {
+  MoveParams p;
+  p.src = 0xAAAA0000;
+  p.dst = 0xBBBB0000;
+  p.rows = 64;
+  p.row_bytes = 512;
+  p.src_stride = 8192;
+  p.dst_stride = 512;
+  EXPECT_EQ(MoveParams::unpack(p.pack()), p);
+}
+
+TEST(Params, InitRoundTrip) {
+  InitParams p;
+  p.dst = 0xCCCC0000;
+  p.rows = 128;
+  p.row_bytes = 1024;
+  p.stride = 4096;
+  p.pattern = 0;
+  EXPECT_EQ(InitParams::unpack(p.pack()), p);
+}
+
+TEST(Params, StashRoundTrip) {
+  StashParams p;
+  p.base = 0xDDDD0000;
+  p.rows = 1024;
+  p.row_bytes = 8192;
+  p.stride = 8192;
+  p.lock = true;
+  EXPECT_EQ(StashParams::unpack(p.pack()), p);
+}
+
+TEST(Assembler, ParsesProgram) {
+  const auto result = assemble(R"(
+    ; dispatch a GEMM, params in x10..x15
+    ma_cfg   x5, x10
+    ma_read  x6, x5     # poll
+    ma_state x7, x5
+    ma_clear x5
+  )");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.program.size(), 4u);
+  EXPECT_EQ(result.program[0].op, Mnemonic::kMaCfg);
+  EXPECT_EQ(result.program[0].rd, 5);
+  EXPECT_EQ(result.program[0].rn, 10);
+  EXPECT_EQ(result.program[3].op, Mnemonic::kMaClear);
+  EXPECT_EQ(result.program[3].rn, 5);
+}
+
+TEST(Assembler, ReportsErrors) {
+  const auto bad_mnemonic = assemble("ma_bogus x1, x2");
+  EXPECT_FALSE(bad_mnemonic.ok());
+  const auto bad_register = assemble("ma_cfg x1, x99");
+  EXPECT_FALSE(bad_register.ok());
+  const auto bad_arity = assemble("ma_cfg x1");
+  EXPECT_FALSE(bad_arity.ok());
+  const auto overflow_block = assemble("ma_cfg x1, x28");  // x28..x33 invalid
+  EXPECT_FALSE(overflow_block.ok());
+}
+
+TEST(Assembler, RegisterParsing) {
+  EXPECT_EQ(parse_register("x0"), 0);
+  EXPECT_EQ(parse_register("X30"), 30);
+  EXPECT_EQ(parse_register("xzr"), 31);
+  EXPECT_EQ(parse_register("w5"), -1);
+  EXPECT_EQ(parse_register("x31"), -1);  // only xzr names 31
+  EXPECT_EQ(parse_register("x32"), -1);
+}
+
+TEST(Assembler, DisassembleRoundTrip) {
+  const std::string source = "ma_cfg x5, x10\nma_state x6, x5\nma_clear x5\n";
+  const auto first = assemble(source);
+  ASSERT_TRUE(first.ok());
+  const auto second = assemble(disassemble(first.program));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.program, second.program);
+}
+
+TEST(Assembler, WordsMatchEncode) {
+  const auto result = assemble("ma_move x3, x20");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.words[0], encode(result.program[0]));
+}
+
+}  // namespace
+}  // namespace maco::isa

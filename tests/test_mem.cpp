@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "mem/dram.hpp"
+#include "mem/physical_memory.hpp"
+
+namespace maco::mem {
+namespace {
+
+TEST(PhysicalMemory, ReadBackWritten) {
+  PhysicalMemory memory;
+  const double value = 3.14159;
+  memory.write_f64(0x1000, value);
+  EXPECT_DOUBLE_EQ(memory.read_f64(0x1000), value);
+}
+
+TEST(PhysicalMemory, UntouchedReadsZero) {
+  PhysicalMemory memory;
+  EXPECT_DOUBLE_EQ(memory.read_f64(0xDEAD000), 0.0);
+}
+
+TEST(PhysicalMemory, CrossBlockTransfer) {
+  PhysicalMemory memory;
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  memory.write(4000, data.data(), data.size());  // spans 3+ blocks
+  std::vector<std::uint8_t> out(data.size());
+  memory.read(4000, out.data(), out.size());
+  EXPECT_EQ(data, out);
+}
+
+TEST(PhysicalMemory, SparseResidency) {
+  PhysicalMemory memory;
+  memory.write_f64(0, 1.0);
+  memory.write_f64(1ull << 40, 2.0);  // far apart: only 2 blocks resident
+  EXPECT_EQ(memory.resident_blocks(), 2u);
+}
+
+TEST(PhysicalMemory, Fill) {
+  PhysicalMemory memory;
+  memory.fill(100, 8192, 0xAB);
+  std::uint8_t byte = 0;
+  memory.read(100 + 8191, &byte, 1);
+  EXPECT_EQ(byte, 0xAB);
+  memory.read(100 + 8192, &byte, 1);
+  EXPECT_EQ(byte, 0);
+}
+
+TEST(Cache, HitAfterMiss) {
+  SetAssocCache cache("c", CacheConfig{4096, 4, 64});
+  const auto miss = cache.access(0x1000, false);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.allocated);
+  const auto hit = cache.access(0x1000, false);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, WriteSetsModified) {
+  SetAssocCache cache("c", CacheConfig{4096, 4, 64});
+  cache.access(0x1000, true);
+  EXPECT_EQ(*cache.probe(0x1000), CoherenceState::kModified);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // Direct construction of a conflict set: 4 KiB, 2-way, 64 B lines = 32
+  // sets; addresses 32*64 apart map to the same set.
+  SetAssocCache cache("c", CacheConfig{4096, 2, 64});
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride, false);
+  cache.access(1 * stride, false);
+  cache.access(0 * stride, false);      // refresh way 0
+  const auto result = cache.access(2 * stride, false);
+  EXPECT_TRUE(result.evicted);
+  EXPECT_EQ(result.victim_addr, 1 * stride);
+}
+
+TEST(Cache, DirtyVictimNeedsWriteback) {
+  SetAssocCache cache("c", CacheConfig{4096, 2, 64});
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride, true);  // modified
+  cache.access(1 * stride, false);
+  cache.access(2 * stride, false);  // evicts way LRU = the modified line
+  EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, LockedLinesSurviveEviction) {
+  SetAssocCache cache("c", CacheConfig{4096, 2, 64});
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride, false);
+  EXPECT_TRUE(cache.lock(0 * stride));
+  cache.access(1 * stride, false);
+  cache.access(2 * stride, false);  // must evict the unlocked way
+  EXPECT_TRUE(cache.probe(0 * stride).has_value());
+  EXPECT_TRUE(cache.is_locked(0 * stride));
+}
+
+TEST(Cache, AllWaysLockedFailsAllocation) {
+  SetAssocCache cache("c", CacheConfig{4096, 2, 64});
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride, false);
+  cache.access(1 * stride, false);
+  cache.lock(0 * stride);
+  cache.lock(1 * stride);
+  const auto result = cache.access(2 * stride, false);
+  EXPECT_FALSE(result.allocated);
+  EXPECT_EQ(cache.locked_lines(), 2u);
+}
+
+TEST(Cache, UnlockRestoresEvictability) {
+  SetAssocCache cache("c", CacheConfig{4096, 2, 64});
+  const std::uint64_t stride = 32 * 64;
+  cache.access(0 * stride, false);
+  cache.lock(0 * stride);
+  cache.unlock(0 * stride);
+  EXPECT_EQ(cache.locked_lines(), 0u);
+  cache.access(1 * stride, false);
+  cache.access(2 * stride, false);
+  // With no locks, one of the first two lines has been evicted.
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Dram, LatencyAndBandwidth) {
+  DramController dram("d", DramConfig{25.6e9, 60'000});
+  // 64 B at 25.6 GB/s = 2.5 ns transfer + 60 ns latency.
+  const sim::TimePs done = dram.access(0, 64);
+  EXPECT_NEAR(static_cast<double>(done), 62'500.0, 100.0);
+}
+
+TEST(Dram, BackToBackSerializesOnBus) {
+  DramController dram("d", DramConfig{25.6e9, 60'000});
+  const sim::TimePs first = dram.access(0, 1 << 20);   // ~41 us transfer
+  const sim::TimePs second = dram.access(0, 1 << 20);  // queued behind it
+  EXPECT_GT(second, first);
+  EXPECT_NEAR(static_cast<double>(second - first), 40'960'000.0, 50'000.0);
+}
+
+TEST(Dram, IdleBusRecovers) {
+  DramController dram("d", DramConfig{25.6e9, 60'000});
+  dram.access(0, 64);
+  // A request far in the future sees an idle bus.
+  const sim::TimePs t = 10'000'000;
+  const sim::TimePs done = dram.access(t, 64);
+  EXPECT_NEAR(static_cast<double>(done - t), 62'500.0, 100.0);
+}
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest()
+      : dram_("dram", DramConfig{}),
+        ccm_("ccm", CcmConfig{}, dram_,
+             [this](int node, std::uint64_t line) {
+               recalls_.push_back({node, line});
+               return sim::TimePs{5'000};
+             }) {}
+
+  DramController dram_;
+  std::vector<std::pair<int, std::uint64_t>> recalls_;
+  DirectoryCcm ccm_;
+};
+
+TEST_F(DirectoryTest, GetSFillsFromDramThenHits) {
+  const auto first = ccm_.handle({CcmReqType::kGetS, 0, 0x1000}, 0);
+  EXPECT_FALSE(first.l3_hit);
+  EXPECT_TRUE(first.dram_accessed);
+  const auto second = ccm_.handle({CcmReqType::kGetS, 1, 0x1000}, 100'000);
+  EXPECT_TRUE(second.l3_hit);
+  EXPECT_FALSE(second.dram_accessed);
+  EXPECT_EQ(ccm_.sharer_mask(0x1000), 0b11u);
+}
+
+TEST_F(DirectoryTest, GetMRecallsOwner) {
+  ccm_.handle({CcmReqType::kGetM, 0, 0x1000}, 0);
+  EXPECT_EQ(ccm_.node_view(0, 0x1000), CoherenceState::kModified);
+  const auto response = ccm_.handle({CcmReqType::kGetM, 1, 0x1000}, 100'000);
+  EXPECT_TRUE(response.recalled);
+  ASSERT_EQ(recalls_.size(), 1u);
+  EXPECT_EQ(recalls_[0].first, 0);
+  EXPECT_EQ(ccm_.node_view(1, 0x1000), CoherenceState::kModified);
+  EXPECT_EQ(ccm_.node_view(0, 0x1000), CoherenceState::kInvalid);
+}
+
+TEST_F(DirectoryTest, GetSAfterOwnerDowngrades) {
+  ccm_.handle({CcmReqType::kGetM, 0, 0x1000}, 0);
+  const auto response = ccm_.handle({CcmReqType::kGetS, 1, 0x1000}, 100'000);
+  EXPECT_TRUE(response.recalled);
+  // MOESI: old owner keeps a dirty-shared copy.
+  EXPECT_EQ(ccm_.node_view(0, 0x1000), CoherenceState::kShared);
+  EXPECT_EQ(ccm_.node_view(1, 0x1000), CoherenceState::kShared);
+}
+
+TEST_F(DirectoryTest, StashWarmsL3) {
+  const auto stash = ccm_.handle({CcmReqType::kStash, 0, 0x2000}, 0);
+  EXPECT_TRUE(stash.dram_accessed);
+  EXPECT_EQ(ccm_.stash_fills(), 1u);
+  const auto read = ccm_.handle({CcmReqType::kGetS, 0, 0x2000}, 1'000'000);
+  EXPECT_TRUE(read.l3_hit);
+}
+
+TEST_F(DirectoryTest, StashLockPinsLine) {
+  ccm_.handle({CcmReqType::kStashLock, 0, 0x3000}, 0);
+  EXPECT_TRUE(ccm_.line_locked(0x3000));
+  ccm_.handle({CcmReqType::kUnlock, 0, 0x3000}, 1000);
+  EXPECT_FALSE(ccm_.line_locked(0x3000));
+}
+
+TEST_F(DirectoryTest, PutMMakesL3CopyDirty) {
+  ccm_.handle({CcmReqType::kGetM, 0, 0x4000}, 0);
+  ccm_.handle({CcmReqType::kPutM, 0, 0x4000}, 50'000);
+  EXPECT_EQ(ccm_.node_view(0, 0x4000), CoherenceState::kInvalid);
+  EXPECT_EQ(*ccm_.l3().probe(line_addr(0x4000)), CoherenceState::kModified);
+}
+
+TEST_F(DirectoryTest, RepeatedStashHitsAreCheap) {
+  ccm_.handle({CcmReqType::kStash, 0, 0x5000}, 0);
+  const auto again = ccm_.handle({CcmReqType::kStash, 0, 0x5000}, 100'000);
+  EXPECT_TRUE(again.l3_hit);
+  EXPECT_EQ(ccm_.stash_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace maco::mem
+
+namespace maco::mem {
+namespace {
+
+TEST(StreamingStore, PutFullAllocatesWithoutDramFetch) {
+  DramController dram("ss.dram", DramConfig{});
+  DirectoryCcm ccm("ss.ccm", CcmConfig{}, dram);
+  const auto response =
+      ccm.handle({CcmReqType::kPutFull, 0, 0x4000}, 0);
+  // No fetch: the line lands in L3 without a DRAM read.
+  EXPECT_FALSE(response.l3_hit);
+  EXPECT_EQ(dram.requests(), 0u);
+  EXPECT_EQ(ccm.node_view(0, 0x4000), CoherenceState::kModified);
+  // A later read hits the L3.
+  const auto read = ccm.handle({CcmReqType::kGetS, 0, 0x4000}, 1000);
+  EXPECT_TRUE(read.l3_hit);
+  EXPECT_FALSE(read.dram_accessed);
+}
+
+TEST(StreamingStore, PutFullInvalidatesOtherSharers) {
+  DramController dram("ss.dram", DramConfig{});
+  int recalled_node = -1;
+  DirectoryCcm ccm("ss.ccm", CcmConfig{}, dram,
+                   [&](int node, std::uint64_t) {
+                     recalled_node = node;
+                     return sim::TimePs{500};
+                   });
+  ccm.handle({CcmReqType::kGetS, 1, 0x4000}, 0);
+  const auto response = ccm.handle({CcmReqType::kPutFull, 0, 0x4000}, 1000);
+  EXPECT_TRUE(response.recalled);
+  EXPECT_EQ(recalled_node, 1);
+  EXPECT_EQ(ccm.node_view(1, 0x4000), CoherenceState::kInvalid);
+  EXPECT_EQ(ccm.node_view(0, 0x4000), CoherenceState::kModified);
+}
+
+TEST(SliceInterleave, StripedAddressesUseAllSets) {
+  // A slice that only ever sees every 16th line must strip the interleave
+  // bits, or a 16x-strided stream would collapse onto 1/16th of the sets.
+  DramController dram("il.dram", DramConfig{});
+  CcmConfig config;
+  config.slice_interleave = 16;
+  DirectoryCcm ccm("il.ccm", config, dram);
+
+  // Stream (slice 0's share of) a working set half the slice capacity.
+  const std::uint64_t lines = config.l3.size_bytes / kLineBytes / 2;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    ccm.handle({CcmReqType::kGetS, 0, i * 16 * kLineBytes}, 0);
+  }
+  // Everything fits: a second pass is all hits.
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    if (ccm.handle({CcmReqType::kGetS, 0, i * 16 * kLineBytes}, 0).l3_hit) {
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, lines);
+}
+
+TEST(UnqueuedLatency, PteReadsDoNotInheritBusBacklog) {
+  DramController dram("uq.dram", DramConfig{});
+  DirectoryCcm ccm("uq.ccm", CcmConfig{}, dram);
+  // Push the DRAM bus far into the future with data traffic.
+  for (int i = 0; i < 1000; ++i) {
+    dram.access(0, 4096);
+  }
+  const sim::TimePs backlog = dram.busy_until();
+  ASSERT_GT(backlog, 100'000u);
+  // An unqueued miss must not see the backlog as latency.
+  const auto response =
+      ccm.handle({CcmReqType::kGetS, 0, 0x9000}, 0, /*queue_dram=*/false);
+  EXPECT_TRUE(response.dram_accessed);
+  EXPECT_LT(response.latency, 100'000u);  // service time, not backlog
+}
+
+}  // namespace
+}  // namespace maco::mem

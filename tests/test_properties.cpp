@@ -1,0 +1,638 @@
+// Property-based and parameterized sweeps across modules.
+//
+// Where the per-module tests pin specific behaviours, these tests assert
+// *invariants* over swept/randomized inputs: conservation (every packet
+// delivered once, every C element covered once), agreement between
+// independent implementations (closed-form vs cycle-accurate, prediction vs
+// brute force, assembler vs disassembler), and bounds (utilization <= 1,
+// efficiency in (0,1]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/gemm_mapper.hpp"
+#include "core/gemm_plus.hpp"
+#include "core/timing_model.hpp"
+#include "isa/assembler.hpp"
+#include "isa/params.hpp"
+#include "mem/cache.hpp"
+#include "mem/directory.hpp"
+#include "noc/link_load_model.hpp"
+#include "noc/mesh.hpp"
+#include "sa/latency_model.hpp"
+#include "sa/systolic_array.hpp"
+#include "sim/engine.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "vm/matlb.hpp"
+#include "vm/page_table.hpp"
+#include "vm/tlb.hpp"
+
+namespace maco {
+namespace {
+
+// ---------------------------------------------------------------- util ----
+
+TEST(UtilProperty, AlignHelpersAgreeWithArithmetic) {
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t value = rng.next_below(1'000'000'007ull);
+    // Mix of power-of-two and arbitrary alignments (clock periods etc.).
+    const std::uint64_t aligns[] = {1, 2, 64, 455, 500, 4096, 12'345};
+    for (const std::uint64_t a : aligns) {
+      const std::uint64_t down = util::align_down(value, a);
+      const std::uint64_t up = util::align_up(value, a);
+      EXPECT_EQ(down % a, 0u);
+      EXPECT_EQ(up % a, 0u);
+      EXPECT_LE(down, value);
+      EXPECT_GE(up, value);
+      EXPECT_LT(value - down, a);
+      EXPECT_LT(up - value, a);
+    }
+  }
+}
+
+TEST(UtilProperty, CeilDivMatchesDefinition) {
+  util::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_below(1'000'000);
+    const std::uint64_t b = 1 + rng.next_below(999);
+    const std::uint64_t q = util::ceil_div(a, b);
+    EXPECT_GE(q * b, a);
+    EXPECT_LT((q - (q ? 1 : 0)) * b, a + b);
+  }
+}
+
+// ------------------------------------------------------------------ sa ----
+
+struct SaShapeCase {
+  std::uint64_t m, n, k;
+  sa::Precision precision;
+};
+
+class SaAgreement : public ::testing::TestWithParam<SaShapeCase> {};
+
+// The closed-form latency model must agree exactly with the cycle-accurate
+// array for every shape and SIMD mode — the system timing model (and hence
+// every paper figure) rests on this.
+TEST_P(SaAgreement, ClosedFormMatchesCycleAccurate) {
+  const SaShapeCase c = GetParam();
+  sa::SaConfig config;
+  config.precision = c.precision;
+  sa::SystolicArray array(config);
+
+  util::Rng rng(99);
+  const auto a = sa::HostMatrix::random(c.m, c.k, rng);
+  const auto b = sa::HostMatrix::random(c.k, c.n, rng);
+  sa::HostMatrix out(c.m, c.n);
+  const sa::SaRunResult run = array.run(a, b, out);
+
+  const sa::SaTiming timing =
+      sa::compute_sa_timing(sa::TileShape{c.m, c.n, c.k}, config);
+  EXPECT_EQ(run.cycles, timing.total_cycles)
+      << "shape " << c.m << "x" << c.n << "x" << c.k;
+  EXPECT_EQ(run.macs, c.m * c.n * c.k);
+  EXPECT_LE(run.utilization, 1.0 + 1e-12);
+
+  sa::HostMatrix expected(c.m, c.n);
+  sa::reference_gemm(a, b, expected);
+  EXPECT_TRUE(out.approx_equal(expected, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, SaAgreement,
+    ::testing::Values(
+        SaShapeCase{4, 4, 4, sa::Precision::kFp64},
+        SaShapeCase{16, 16, 16, sa::Precision::kFp64},
+        SaShapeCase{64, 64, 64, sa::Precision::kFp64},
+        SaShapeCase{64, 64, 64, sa::Precision::kFp32},
+        SaShapeCase{64, 64, 64, sa::Precision::kFp16},
+        SaShapeCase{17, 5, 9, sa::Precision::kFp64},    // ragged
+        SaShapeCase{1, 64, 64, sa::Precision::kFp64},   // single row
+        SaShapeCase{64, 1, 64, sa::Precision::kFp64},   // single col
+        SaShapeCase{64, 64, 1, sa::Precision::kFp64},   // rank-1 update
+        SaShapeCase{3, 3, 3, sa::Precision::kFp16},     // smaller than array
+        SaShapeCase{33, 29, 31, sa::Precision::kFp32},  // primes
+        SaShapeCase{128, 8, 24, sa::Precision::kFp64}));
+
+TEST(SaProperty, RandomShapesFunctionalAndTimed) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t m = 1 + rng.next_below(48);
+    const std::uint64_t n = 1 + rng.next_below(48);
+    const std::uint64_t k = 1 + rng.next_below(48);
+    const auto precision = static_cast<sa::Precision>(rng.next_below(3));
+    sa::SaConfig config;
+    config.precision = precision;
+    sa::SystolicArray array(config);
+    const auto a = sa::HostMatrix::random(m, k, rng);
+    const auto b = sa::HostMatrix::random(k, n, rng);
+    sa::HostMatrix out(m, n);
+    const auto run = array.run(a, b, out);
+    const auto timing = sa::compute_sa_timing(sa::TileShape{m, n, k}, config);
+    ASSERT_EQ(run.cycles, timing.total_cycles)
+        << m << "x" << n << "x" << k << " precision "
+        << static_cast<int>(precision);
+    sa::HostMatrix expected(m, n);
+    sa::reference_gemm(a, b, expected);
+    ASSERT_TRUE(out.approx_equal(expected, 1e-9));
+  }
+}
+
+TEST(SaProperty, MoreSimdWaysNeverSlower) {
+  for (std::uint64_t m : {8ull, 64ull, 100ull}) {
+    const sa::TileShape shape{m, 64, 64};
+    sa::SaConfig fp64, fp32, fp16;
+    fp64.precision = sa::Precision::kFp64;
+    fp32.precision = sa::Precision::kFp32;
+    fp16.precision = sa::Precision::kFp16;
+    const auto c64 = sa::compute_sa_timing(shape, fp64).total_cycles;
+    const auto c32 = sa::compute_sa_timing(shape, fp32).total_cycles;
+    const auto c16 = sa::compute_sa_timing(shape, fp16).total_cycles;
+    EXPECT_LE(c32, c64);
+    EXPECT_LE(c16, c32);
+  }
+}
+
+// ------------------------------------------------------------------ vm ----
+
+// predict_page_entries must enumerate exactly the pages a brute-force walk
+// of the tile's elements touches, in stream order.
+TEST(VmProperty, PredictionMatchesBruteForce) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    vm::MatrixDesc matrix;
+    matrix.base = (1 + rng.next_below(1000)) * vm::kPageSize +
+                  rng.next_below(4096);  // deliberately unaligned base
+    matrix.rows = 1 + rng.next_below(300);
+    matrix.cols = 1 + rng.next_below(300);
+    matrix.elem_bytes = (rng.next_below(2)) ? 8 : 4;
+
+    vm::TileDesc tile;
+    tile.row0 = rng.next_below(matrix.rows);
+    tile.col0 = rng.next_below(matrix.cols);
+    tile.rows = 1 + rng.next_below((matrix.rows - tile.row0));
+    tile.cols = 1 + rng.next_below((matrix.cols - tile.col0));
+
+    // Brute force: touch every element row-major, record page transitions.
+    std::vector<std::uint64_t> expected_pages;
+    for (std::uint64_t r = tile.row0; r < tile.row0 + tile.rows; ++r) {
+      for (std::uint64_t c = tile.col0; c < tile.col0 + tile.cols; ++c) {
+        for (std::uint64_t byte = 0; byte < matrix.elem_bytes; ++byte) {
+          const std::uint64_t page =
+              (matrix.element_addr(r, c) + byte) / vm::kPageSize;
+          if (expected_pages.empty() || expected_pages.back() != page) {
+            expected_pages.push_back(page);
+          }
+        }
+      }
+    }
+
+    const auto predicted = vm::predict_page_entries(matrix, tile);
+    ASSERT_EQ(predicted.size(), expected_pages.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      EXPECT_EQ(predicted[i] / vm::kPageSize, expected_pages[i]);
+    }
+
+    // distinct_pages agrees with the set of the stream.
+    const std::set<std::uint64_t> unique(expected_pages.begin(),
+                                         expected_pages.end());
+    EXPECT_EQ(vm::distinct_pages(matrix, tile), unique.size());
+  }
+}
+
+TEST(VmProperty, PageTableTranslateRoundTrip) {
+  vm::PageTable table(/*table_region_base=*/0x4000'0000);
+  util::Rng rng(13);
+  std::map<vm::VirtAddr, vm::PhysAddr> truth;
+  for (int i = 0; i < 500; ++i) {
+    const vm::VirtAddr va =
+        (rng.next_below((1ull << 36))) & ~(vm::kPageSize - 1);
+    const vm::PhysAddr pa =
+        (0x1'0000'0000ull + i * vm::kPageSize);
+    table.map(va, pa);
+    truth[va] = pa;
+  }
+  for (const auto& [va, pa] : truth) {
+    ASSERT_TRUE(table.is_mapped(va));
+    const auto got = table.translate(va + 123 % vm::kPageSize);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got & ~(vm::kPageSize - 1), pa);
+    // The walk trace reaches the leaf in exactly kLevels reads.
+    const auto trace = table.walk(va);
+    EXPECT_TRUE(trace.valid);
+    EXPECT_EQ(trace.levels, vm::PageTable::kLevels);
+  }
+  // Unmapped addresses fault.
+  EXPECT_FALSE(table.translate(0x7000'0000'0000ull).has_value());
+}
+
+TEST(VmProperty, TlbLruNeverExceedsCapacityAndEvictsOldest) {
+  vm::Tlb tlb("prop.tlb", 64);
+  for (std::uint64_t vpn = 0; vpn < 200; ++vpn) {
+    tlb.insert(1, vpn, vpn + 1000);
+    EXPECT_LE(tlb.size(), 64u);
+  }
+  // The newest 64 survive, all older are gone.
+  for (std::uint64_t vpn = 200 - 64; vpn < 200; ++vpn) {
+    EXPECT_TRUE(tlb.contains(1, vpn)) << vpn;
+  }
+  for (std::uint64_t vpn = 0; vpn < 200 - 64; ++vpn) {
+    EXPECT_FALSE(tlb.contains(1, vpn)) << vpn;
+  }
+  // Touching an entry protects it from eviction.
+  vm::Tlb lru("prop.lru", 4);
+  for (std::uint64_t vpn = 0; vpn < 4; ++vpn) lru.insert(1, vpn, vpn);
+  ASSERT_TRUE(lru.lookup(1, 0).has_value());  // refresh vpn 0
+  lru.insert(1, 100, 100);                    // evicts vpn 1, not 0
+  EXPECT_TRUE(lru.contains(1, 0));
+  EXPECT_FALSE(lru.contains(1, 1));
+}
+
+TEST(VmProperty, TlbAsidIsolation) {
+  vm::Tlb tlb("prop.asid", 32);
+  tlb.insert(1, 5, 100);
+  tlb.insert(2, 5, 200);
+  EXPECT_EQ(tlb.lookup(1, 5).value(), 100u);
+  EXPECT_EQ(tlb.lookup(2, 5).value(), 200u);
+  tlb.invalidate_asid(1);
+  EXPECT_FALSE(tlb.contains(1, 5));
+  EXPECT_TRUE(tlb.contains(2, 5));
+}
+
+// ----------------------------------------------------------------- noc ----
+
+TEST(NocProperty, AllPacketsDeliveredExactlyOnceUnderRandomTraffic) {
+  sim::SimEngine engine;
+  noc::MeshConfig config;
+  noc::MeshNetwork mesh(engine, config);
+
+  std::map<std::uint64_t, int> delivered_count;
+  for (int node = 0; node < 16; ++node) {
+    mesh.register_endpoint(node, [&delivered_count](const noc::Packet& pkt) {
+      ++delivered_count[pkt.id];
+    });
+  }
+
+  util::Rng rng(2718);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 400; ++i) {
+    noc::Packet pkt;
+    pkt.src = static_cast<noc::NodeId>(rng.next_below(16));
+    pkt.dst = static_cast<noc::NodeId>(rng.next_below(16));
+    pkt.payload_bytes = 8 + static_cast<std::uint32_t>(rng.next_below(256));
+    pkt.msg_class = static_cast<noc::MsgClass>(rng.next_below(2));
+    ids.push_back(mesh.inject(pkt));
+  }
+  engine.run();
+
+  EXPECT_EQ(mesh.packets_delivered(), ids.size());
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(delivered_count[id], 1) << "packet " << id;
+  }
+}
+
+TEST(NocProperty, PerFlowFifoOrdering) {
+  // Wormhole + deterministic X-Y routing: packets of one (src,dst,class)
+  // flow must arrive in injection order.
+  sim::SimEngine engine;
+  noc::MeshConfig config;
+  noc::MeshNetwork mesh(engine, config);
+  std::vector<std::uint64_t> arrivals;
+  mesh.register_endpoint(10, [&arrivals](const noc::Packet& pkt) {
+    arrivals.push_back(pkt.id);
+  });
+  std::vector<std::uint64_t> injected;
+  for (int i = 0; i < 50; ++i) {
+    noc::Packet pkt;
+    pkt.src = 5;
+    pkt.dst = 10;
+    pkt.payload_bytes = 24 + 32 * (i % 3);  // mixed lengths
+    injected.push_back(mesh.inject(pkt));
+  }
+  engine.run();
+  EXPECT_EQ(arrivals, injected);
+}
+
+TEST(NocProperty, HopCountIsManhattanDistance) {
+  noc::LinkLoadConfig config;
+  noc::LinkLoadModel model(config);
+  for (int src = 0; src < 16; ++src) {
+    for (int dst = 0; dst < 16; ++dst) {
+      const int sx = src % 4, sy = src / 4, dx = dst % 4, dy = dst / 4;
+      EXPECT_EQ(model.hop_count(src, dst),
+                static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy)));
+    }
+  }
+}
+
+TEST(NocProperty, LinkLoadConservation) {
+  // Total load summed over all links equals sum over flows of
+  // rate * (hops + 1 ejection link).
+  noc::LinkLoadConfig config;
+  noc::LinkLoadModel model(config);
+  util::Rng rng(31);
+  double expected_total = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const noc::NodeId src = static_cast<noc::NodeId>(rng.next_below(16));
+    const noc::NodeId dst = static_cast<noc::NodeId>(rng.next_below(16));
+    const double rate = 1e9 + static_cast<double>(rng.next_below(1000000));
+    model.add_flow(src, dst, rate);
+    expected_total += rate * (model.hop_count(src, dst) + 1);
+  }
+  // max_utilization * capacity bounds every link; we check conservation via
+  // a probe flow on every path instead of exposing raw loads: the weaker
+  // invariant max >= average must hold.
+  const double links = 16.0 * 5.0;
+  EXPECT_GE(model.max_utilization() * config.link_bytes_per_second,
+            expected_total / links);
+}
+
+// ----------------------------------------------------------------- mem ----
+
+TEST(MemProperty, CacheNeverExceedsCapacityAndLockPinsLines) {
+  mem::SetAssocCache cache("prop.cache",
+                           mem::CacheConfig{16 * 1024, 4, 64});
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    cache.access(rng.next_below((1 << 22)) & ~63ull, rng.next_below(2),
+                 mem::CoherenceState::kShared);
+  }
+  // Lock one line, thrash its set, confirm it survives.
+  const std::uint64_t victim_addr = 0x100000;
+  cache.access(victim_addr, false, mem::CoherenceState::kShared);
+  ASSERT_TRUE(cache.lock(victim_addr));
+  const std::uint64_t sets = 16 * 1024 / 4 / 64;
+  for (int way = 0; way < 64; ++way) {
+    cache.access(victim_addr + (way + 1) * sets * 64, false,
+                 mem::CoherenceState::kShared);
+  }
+  EXPECT_TRUE(cache.probe(victim_addr).has_value());
+  EXPECT_TRUE(cache.is_locked(victim_addr));
+  cache.unlock(victim_addr);
+}
+
+TEST(MemProperty, DirectorySingleWriterInvariant) {
+  mem::DramController dram("prop.dram", mem::DramConfig{});
+  mem::DirectoryCcm ccm("prop.ccm", mem::CcmConfig{}, dram,
+                        [](int, std::uint64_t) { return sim::TimePs{1000}; });
+  util::Rng rng(17);
+  sim::TimePs now = 0;
+  const std::uint64_t lines[] = {0x1000, 0x2000, 0x3000};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t line = lines[rng.next_below(3)];
+    const int node = static_cast<int>(rng.next_below(8));
+    const auto type = (rng.next_below(2)) ? mem::CcmReqType::kGetM
+                                           : mem::CcmReqType::kGetS;
+    ccm.handle({type, node, line}, now);
+    now += 1000;
+
+    // Invariant: at most one node sees Modified; if one does, no other node
+    // sees any valid state for that line.
+    for (const std::uint64_t l : lines) {
+      int modified = 0, valid = 0;
+      for (int n = 0; n < 8; ++n) {
+        const auto state = ccm.node_view(n, l);
+        if (state == mem::CoherenceState::kModified) ++modified;
+        if (state != mem::CoherenceState::kInvalid) ++valid;
+      }
+      ASSERT_LE(modified, 1);
+      if (modified == 1) {
+        ASSERT_EQ(valid, 1);
+      }
+    }
+  }
+}
+
+TEST(MemProperty, DramBandwidthLawHolds) {
+  // N back-to-back transfers of S bytes take at least N*S/BW seconds.
+  mem::DramConfig config;
+  mem::DramController dram("prop.dram", config);
+  sim::TimePs t = 0;
+  const std::uint64_t bytes = 4096;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) t = dram.access(t, bytes);
+  const double seconds = sim::to_seconds(t);
+  EXPECT_GE(seconds, n * bytes / config.bandwidth_bytes_per_second * 0.999);
+}
+
+// ----------------------------------------------------------------- isa ----
+
+TEST(IsaProperty, ParamBlocksRoundTripUnderFuzz) {
+  util::Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    isa::GemmParams g;
+    g.a_base = (rng() & ((1ull << 48) - 1));
+    g.b_base = (rng() & ((1ull << 48) - 1));
+    g.c_base = (rng() & ((1ull << 48) - 1));
+    g.m = static_cast<std::uint32_t>(rng());
+    g.n = static_cast<std::uint32_t>(rng());
+    g.k = static_cast<std::uint32_t>(rng());
+    g.precision = static_cast<sa::Precision>(rng.next_below(3));
+    g.accumulate = rng.next_below(2);
+    g.tile_rows = static_cast<std::uint16_t>(rng());
+    g.tile_cols = static_cast<std::uint16_t>(rng());
+    g.inner_tile_rows = static_cast<std::uint16_t>(rng());
+    g.inner_tile_cols = static_cast<std::uint16_t>(rng());
+    EXPECT_EQ(isa::GemmParams::unpack(g.pack()), g);
+
+    isa::MoveParams mv;
+    mv.src = rng();
+    mv.dst = rng();
+    mv.rows = static_cast<std::uint32_t>(rng());
+    mv.row_bytes = static_cast<std::uint32_t>(rng());
+    mv.src_stride = rng();
+    mv.dst_stride = rng();
+    EXPECT_EQ(isa::MoveParams::unpack(mv.pack()), mv);
+
+    isa::InitParams init;
+    init.dst = rng();
+    init.rows = static_cast<std::uint32_t>(rng());
+    init.row_bytes = static_cast<std::uint32_t>(rng());
+    init.stride = rng();
+    init.pattern = rng();
+    EXPECT_EQ(isa::InitParams::unpack(init.pack()), init);
+
+    isa::StashParams stash;
+    stash.base = rng();
+    stash.rows = static_cast<std::uint32_t>(rng());
+    stash.row_bytes = static_cast<std::uint32_t>(rng());
+    stash.stride = rng();
+    stash.lock = rng.next_below(2);
+    EXPECT_EQ(isa::StashParams::unpack(stash.pack()), stash);
+  }
+}
+
+TEST(IsaProperty, AssembleDisassembleRoundTrip) {
+  util::Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<isa::Instruction> program;
+    for (int j = 0; j < 8; ++j) {
+      isa::Instruction instruction;
+      instruction.op = static_cast<isa::Mnemonic>(rng.next_below(7));
+      instruction.rd = static_cast<std::uint8_t>(rng.next_below(31));
+      // Param-block instructions require Rn..Rn+5 below XZR (rn <= 25).
+      instruction.rn = static_cast<std::uint8_t>(rng.next_below(25));
+      program.push_back(instruction);
+    }
+    const auto result = isa::assemble(isa::disassemble(program));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.program.size(), program.size());
+    for (std::size_t j = 0; j < program.size(); ++j) {
+      EXPECT_EQ(result.program[j].op, program[j].op);
+      EXPECT_EQ(result.program[j].rn, program[j].rn);
+      // MA_CLEAR has no rd operand; it reads the MAID from Rn.
+      if (program[j].op != isa::Mnemonic::kMaClear) {
+        EXPECT_EQ(result.program[j].rd, program[j].rd);
+      }
+    }
+  }
+}
+
+TEST(IsaProperty, EncodeDecodeRoundTrip) {
+  for (int op = 0; op < 7; ++op) {
+    for (std::uint8_t rd : {0, 5, 17, 30}) {
+      // rn is a param-block base for MA_MOVE/INIT/STASH/CFG: Rn+5 < XZR.
+      for (std::uint8_t rn : {0, 10, 20, 25}) {
+        isa::Instruction instruction;
+        instruction.op = static_cast<isa::Mnemonic>(op);
+        instruction.rd = rd;
+        instruction.rn = rn;
+        const auto decoded = isa::decode(isa::encode(instruction));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->op, instruction.op);
+        EXPECT_EQ(decoded->rd, rd);
+        EXPECT_EQ(decoded->rn, rn);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- core ----
+
+TEST(MapperProperty, RandomShapesCoverExactlyOnce) {
+  util::Rng rng(37);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t m = 1 + rng.next_below(5000);
+    const std::uint64_t n = 1 + rng.next_below(5000);
+    const unsigned nodes = 1 + static_cast<unsigned>(rng.next_below(16));
+    const auto plan = core::partition_gemm(m, n, 512, nodes, 256, 256);
+
+    // Coverage check on a coarse grid plus exact area accounting.
+    std::uint64_t covered = 0;
+    for (const auto& node : plan) {
+      for (const auto& tile : node.c_tiles) {
+        covered += tile.rows * tile.cols;
+        EXPECT_LE(tile.row0 + tile.rows, m);
+        EXPECT_LE(tile.col0 + tile.cols, n);
+      }
+    }
+    ASSERT_EQ(covered, m * n) << m << "x" << n << " over " << nodes;
+
+    // No overlap: sample random points and count owners.
+    for (int s = 0; s < 50; ++s) {
+      const std::uint64_t r = rng.next_below(m);
+      const std::uint64_t c = rng.next_below(n);
+      int owners = 0;
+      for (const auto& node : plan) {
+        for (const auto& tile : node.c_tiles) {
+          if (r >= tile.row0 && r < tile.row0 + tile.rows &&
+              c >= tile.col0 && c < tile.col0 + tile.cols) {
+            ++owners;
+          }
+        }
+      }
+      ASSERT_EQ(owners, 1);
+    }
+
+    // Critical path never below the perfect split.
+    const std::uint64_t total = m * n * 512;
+    EXPECT_GE(core::critical_path_macs(plan) * nodes, total);
+  }
+}
+
+TEST(GemmPlusProperty, ScheduleBounds) {
+  util::Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<core::GemmPlusStage> stages;
+    sim::TimePs sum_gemm = 0, sum_cpu = 0, sum_all = 0;
+    const int n = 1 + static_cast<int>(rng.next_below(12));
+    for (int i = 0; i < n; ++i) {
+      core::GemmPlusStage stage;
+      stage.gemm_ps = rng.next_below(10000);
+      stage.cpu_post_ps = rng.next_below(10000);
+      stage.stash_ps = rng.next_below(2000);
+      stages.push_back(stage);
+      sum_gemm += stage.gemm_ps;
+      sum_cpu += stage.cpu_post_ps;
+      sum_all += stage.gemm_ps + stage.cpu_post_ps + stage.stash_ps;
+    }
+    const auto serial = core::schedule_gemm_plus(stages, false);
+    const auto piped = core::schedule_gemm_plus(stages, true);
+    // Pipelining never loses, never beats the resource bounds.
+    EXPECT_LE(piped.total_ps, serial.total_ps);
+    EXPECT_GE(piped.total_ps, sum_gemm);
+    EXPECT_GE(piped.total_ps, sum_cpu);
+    EXPECT_EQ(serial.total_ps, sum_all);
+    EXPECT_GE(piped.overlap_fraction, 0.0);
+    EXPECT_LE(piped.overlap_fraction, 1.0);
+  }
+}
+
+TEST(TimingModelProperty, EfficiencyBoundedAndConsistent) {
+  const core::SystemTimingModel model(core::SystemConfig::maco_default());
+  util::Rng rng(43);
+  for (int trial = 0; trial < 25; ++trial) {
+    core::TimingOptions options;
+    options.shape = sa::TileShape{256 + rng.next_below(4096),
+                                  256 + rng.next_below(4096),
+                                  256 + rng() % 4096};
+    options.active_nodes = 1 + static_cast<unsigned>(rng.next_below(16));
+    options.cooperative = rng.next_below(2);
+    options.use_matlb = rng.next_below(2);
+    options.use_stash_lock = rng.next_below(2);
+    const auto timing = model.run(options);
+    ASSERT_GT(timing.mean_efficiency, 0.0);
+    ASSERT_LE(timing.mean_efficiency, 1.0 + 1e-9);
+    ASSERT_GT(timing.total_gflops, 0.0);
+    ASSERT_GT(timing.makespan_ps, 0u);
+    // Throughput identity: total_gflops == total FLOPs / makespan.
+    const double total_macs =
+        options.cooperative
+            ? static_cast<double>(options.shape.macs())
+            : static_cast<double>(options.shape.macs()) * options.active_nodes;
+    const double expect_gflops =
+        2.0 * total_macs / (static_cast<double>(timing.makespan_ps) * 1e-12) /
+        1e9;
+    ASSERT_NEAR(timing.total_gflops, expect_gflops, expect_gflops * 1e-6);
+  }
+}
+
+TEST(TimingModelProperty, FeaturesNeverHurt) {
+  // Turning a feature ON never reduces throughput, over a sweep of shapes
+  // and node counts.
+  const core::SystemTimingModel model(core::SystemConfig::maco_default());
+  for (const std::uint64_t size : {512ull, 1024ull, 4096ull}) {
+    for (const unsigned nodes : {1u, 8u, 16u}) {
+      core::TimingOptions base;
+      base.shape = sa::TileShape{size, size, size};
+      base.active_nodes = nodes;
+
+      core::TimingOptions no_matlb = base;
+      no_matlb.use_matlb = false;
+      core::TimingOptions no_stash = base;
+      no_stash.use_stash_lock = false;
+
+      const double full = model.run(base).total_gflops;
+      EXPECT_GE(full, model.run(no_matlb).total_gflops * 0.9999)
+          << size << "/" << nodes;
+      EXPECT_GE(full, model.run(no_stash).total_gflops * 0.9999)
+          << size << "/" << nodes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maco
