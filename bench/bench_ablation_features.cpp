@@ -80,8 +80,13 @@ void inner_tile_sweep() {
     options.shape = sa::TileShape{2048, 2048, 2048};
     options.inner = inner;
     const core::SystemTiming timing = model.run(options);
+    std::string label = "<";
+    label += std::to_string(inner);
+    label += ",";
+    label += std::to_string(inner);
+    label += ">";
     t.row()
-        .cell("<" + std::to_string(inner) + "," + std::to_string(inner) + ">")
+        .cell(label)
         .cell(timing.total_gflops, 1)
         .percent(timing.mean_efficiency);
   }

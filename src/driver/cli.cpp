@@ -1,0 +1,184 @@
+#include "driver/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace maco::driver {
+namespace {
+
+// Splits `text` at every `sep`, keeping empty pieces (so "a,,b" is caught
+// as a malformed axis rather than silently collapsing).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool parse_unsigned(const std::string& text, unsigned& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+AxisParse parse_axis(const std::string& spec) {
+  AxisParse result;
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    result.error = "expected key=v1,v2,... in '" + spec + "'";
+    return result;
+  }
+  result.axis.key = spec.substr(0, eq);
+  result.axis.values = split(spec.substr(eq + 1), ',');
+  for (const std::string& value : result.axis.values) {
+    if (value.empty()) {
+      result.error = "empty value in sweep axis '" + spec + "'";
+      return result;
+    }
+  }
+  if (result.axis.values.empty()) {
+    result.error = "no values in sweep axis '" + spec + "'";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+CliParse parse_cli(const std::vector<std::string>& args) {
+  CliParse result;
+  CliOptions& options = result.options;
+
+  const auto value_of = [&](std::size_t& i, std::string& out) {
+    if (i + 1 >= args.size()) {
+      result.error = "missing value after " + args[i];
+      return false;
+    }
+    out = args[++i];
+    return true;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (arg == "--list-scenarios" || arg == "--list") {
+      options.list_scenarios = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      options.quiet = true;
+    } else if (arg == "--scenario") {
+      if (!value_of(i, value)) return result;
+      if (!options.scenario.empty() && options.scenario != value) {
+        result.error = "--scenario given twice ('" + options.scenario +
+                       "' and '" + value + "')";
+        return result;
+      }
+      options.scenario = value;
+    } else if (arg == "--set") {
+      if (!value_of(i, value)) return result;
+      const auto eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        result.error = "expected key=value after --set, got '" + value + "'";
+        return result;
+      }
+      const std::string key = value.substr(0, eq);
+      if (options.params.count(key) != 0) {
+        result.error = "--set " + key + " given twice";
+        return result;
+      }
+      for (const SweepAxis& axis : options.sweeps) {
+        if (axis.key == key) {
+          result.error = "'" + key + "' is both a --set and a --sweep axis";
+          return result;
+        }
+      }
+      options.params[key] = value.substr(eq + 1);
+    } else if (arg == "--sweep") {
+      if (!value_of(i, value)) return result;
+      AxisParse axis = parse_axis(value);
+      if (!axis.ok) {
+        result.error = axis.error;
+        return result;
+      }
+      for (const SweepAxis& existing : options.sweeps) {
+        if (existing.key == axis.axis.key) {
+          result.error = "sweep axis '" + axis.axis.key + "' given twice";
+          return result;
+        }
+      }
+      if (options.params.count(axis.axis.key) != 0) {
+        result.error =
+            "'" + axis.axis.key + "' is both a --set and a --sweep axis";
+        return result;
+      }
+      options.sweeps.push_back(std::move(axis.axis));
+    } else if (arg == "--threads" || arg == "-j") {
+      if (!value_of(i, value)) return result;
+      if (!parse_unsigned(value, options.threads) || options.threads == 0) {
+        result.error = "--threads wants a positive integer, got '" + value +
+                       "'";
+        return result;
+      }
+    } else if (arg == "--csv") {
+      if (!value_of(i, value)) return result;
+      options.csv_path = value;
+    } else if (arg == "--json") {
+      if (!value_of(i, value)) return result;
+      options.json_path = value;
+    } else {
+      result.error = "unknown argument '" + arg + "' (see --help)";
+      return result;
+    }
+  }
+
+  if (!options.show_help && !options.list_scenarios &&
+      options.scenario.empty()) {
+    result.error = "no --scenario given (see --list-scenarios)";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+std::string usage() {
+  std::ostringstream out;
+  out << "macosim - unified MACO simulation sweep driver\n"
+         "\n"
+         "usage: macosim --scenario NAME [options]\n"
+         "       macosim --list-scenarios\n"
+         "\n"
+         "options:\n"
+         "  --scenario NAME        scenario to run (see --list-scenarios)\n"
+         "  --set KEY=VALUE        fix one parameter (repeatable)\n"
+         "  --sweep KEY=V1,V2,...  sweep one axis (repeatable; axes combine\n"
+         "                         as a Cartesian product)\n"
+         "  --threads N            worker threads for the sweep (default 1)\n"
+         "  --csv FILE             write results CSV (default\n"
+         "                         macosim_results.csv; '-' for stdout)\n"
+         "  --json FILE            also write results as JSON\n"
+         "  --quiet                suppress the progress/result table\n"
+         "  --list-scenarios       list scenarios and their parameters\n"
+         "  --help                 this text\n"
+         "\n"
+         "Parameters are scenario knobs (e.g. size, precision, nodes) or\n"
+         "hardware config knobs (e.g. node_count, mesh_width, sa_rows,\n"
+         "dram_channels, dram_efficiency, matlb_entries). Unknown keys are\n"
+         "rejected before any run starts.\n"
+         "\n"
+         "example:\n"
+         "  macosim --scenario gemm --sweep nodes=1,4,16 \\\n"
+         "          --sweep size=1024,4096 --threads 4 --csv sweep.csv\n";
+  return out.str();
+}
+
+}  // namespace maco::driver

@@ -1,0 +1,58 @@
+// Command-line front end of the unified `macosim` driver.
+//
+// One grammar covers every workload, baseline and hardware knob:
+//
+//   macosim --list-scenarios
+//   macosim --scenario gemm --set size=4096 --set precision=fp32
+//   macosim --scenario gemm --sweep nodes=1,4,16 --sweep size=1024,4096
+//           --threads 4 --csv out.csv --json out.json
+//
+// Parsing is pure (no I/O, no exit()) so tests can drive it directly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace maco::driver {
+
+// One `--sweep key=v1,v2,...` axis, in command-line order.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+struct CliOptions {
+  bool show_help = false;
+  bool list_scenarios = false;
+  bool quiet = false;
+  std::string scenario;
+  std::map<std::string, std::string> params;  // --set key=value overrides
+  std::vector<SweepAxis> sweeps;              // --sweep axes (Cartesian)
+  unsigned threads = 1;
+  std::string csv_path;   // empty => default; "-" => stdout
+  std::string json_path;  // empty => no JSON output
+};
+
+struct CliParse {
+  bool ok = false;
+  CliOptions options;
+  std::string error;  // set when !ok
+};
+
+// Parses argv[1..]; never exits or prints.
+CliParse parse_cli(const std::vector<std::string>& args);
+
+// Splits "key=v1,v2,v3" into an axis; empty key/values => ok=false.
+struct AxisParse {
+  bool ok = false;
+  SweepAxis axis;
+  std::string error;
+};
+AxisParse parse_axis(const std::string& spec);
+
+// The --help text.
+std::string usage();
+
+}  // namespace maco::driver

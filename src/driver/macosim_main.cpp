@@ -1,0 +1,146 @@
+// macosim: the unified MACO simulation driver.
+//
+// Every workload, baseline and paper figure is a registered scenario;
+// hardware knobs and scenario parameters share one --set/--sweep grammar.
+// See driver/cli.hpp for the grammar and driver/scenario_registry.cpp for
+// the scenario catalogue.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/cli.hpp"
+#include "driver/scenario_registry.hpp"
+#include "driver/sweep_runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maco;
+
+void list_scenarios(const driver::ScenarioRegistry& registry) {
+  util::Table t({"Scenario", "Parameters", "Description"});
+  for (const driver::Scenario& scenario : registry.scenarios()) {
+    std::ostringstream params;
+    bool first = true;
+    for (const driver::ParamSpec& spec : scenario.params) {
+      if (!first) params << " ";
+      params << spec.name;
+      if (!spec.default_value.empty()) params << "=" << spec.default_value;
+      first = false;
+    }
+    t.row().cell(scenario.name).cell(params.str()).cell(
+        scenario.description);
+  }
+  t.print(std::cout, "macosim scenarios (hardware knobs apply to all: "
+                     "node_count, mesh_width, mesh_height, sa_rows, "
+                     "sa_cols, dram_channels, dram_efficiency, ccm_count, "
+                     "matlb_entries, inner_k)");
+}
+
+void print_results(const driver::SweepResults& results) {
+  std::vector<std::string> headers;
+  headers.insert(headers.end(), results.param_columns.begin(),
+                 results.param_columns.end());
+  headers.insert(headers.end(), results.metric_columns.begin(),
+                 results.metric_columns.end());
+  if (headers.empty()) headers.push_back("(no columns)");
+  util::Table t(headers);
+  for (const driver::SweepRow& row : results.rows) {
+    auto out = t.row();
+    for (const std::string& column : results.param_columns) {
+      const auto it = row.params.find(column);
+      out.cell(it == row.params.end() ? "" : it->second);
+    }
+    for (const std::string& column : results.metric_columns) {
+      bool found = false;
+      for (const auto& [name, value] : row.result.metrics) {
+        if (name == column) {
+          out.cell(value, 4);
+          found = true;
+          break;
+        }
+      }
+      if (!found) out.cell(row.ok() ? "" : "ERROR");
+    }
+  }
+  std::ostringstream title;
+  title << "scenario '" << results.scenario << "': " << results.rows.size()
+        << " run(s)";
+  if (results.failures() > 0) title << ", " << results.failures()
+                                   << " FAILED";
+  t.print(std::cout, title.str());
+  for (const driver::SweepRow& row : results.rows) {
+    if (!row.ok()) {
+      std::cout << "run " << row.index << " failed: " << row.error << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const driver::CliParse parse = driver::parse_cli(args);
+  if (!parse.ok) {
+    std::cerr << "macosim: " << parse.error << "\n";
+    return 2;
+  }
+  const driver::CliOptions& options = parse.options;
+  if (options.show_help) {
+    std::cout << driver::usage();
+    return 0;
+  }
+
+  const driver::ScenarioRegistry registry =
+      driver::ScenarioRegistry::builtin();
+  if (options.list_scenarios) {
+    list_scenarios(registry);
+    return 0;
+  }
+
+  driver::SweepRequest request;
+  request.scenario = options.scenario;
+  request.base_params = options.params;
+  request.axes = options.sweeps;
+  request.threads = options.threads;
+
+  driver::SweepResults results;
+  try {
+    results = driver::run_sweep(registry, request);
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
+    return 2;
+  }
+
+  if (!options.quiet) print_results(results);
+
+  const std::string csv_path =
+      options.csv_path.empty() ? "macosim_results.csv" : options.csv_path;
+  if (csv_path == "-") {
+    driver::write_csv(std::cout, results);
+  } else {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "macosim: cannot write " << csv_path << "\n";
+      return 2;
+    }
+    driver::write_csv(out, results);
+    if (!options.quiet) {
+      std::cout << "wrote " << results.rows.size() << " row(s) to "
+                << csv_path << "\n";
+    }
+  }
+  if (!options.json_path.empty()) {
+    if (options.json_path == "-") {
+      driver::write_json(std::cout, results);
+    } else {
+      std::ofstream out(options.json_path);
+      if (!out) {
+        std::cerr << "macosim: cannot write " << options.json_path << "\n";
+        return 2;
+      }
+      driver::write_json(out, results);
+    }
+  }
+  return results.failures() == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Scenario registry of the `macosim` driver.
+//
+// A scenario is one named, parameterized experiment: every workload
+// (src/workloads/), baseline comparison (src/baselines/) and paper
+// figure/table bench (bench/) is registered here so one CLI can run and
+// sweep all of them. A scenario takes a fully-built SystemConfig plus its
+// own parameters and returns a flat list of named metrics — one result row.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace maco::driver {
+
+// Parameters of one run: scenario knobs only (hardware knobs have already
+// been folded into `config` by apply_config_params).
+struct ScenarioRequest {
+  core::SystemConfig config = core::SystemConfig::maco_default();
+  std::map<std::string, std::string> params;
+
+  // Typed accessors; throw std::invalid_argument on malformed values.
+  std::uint64_t param_u64(const std::string& key, std::uint64_t fallback)
+      const;
+  double param_double(const std::string& key, double fallback) const;
+  bool param_bool(const std::string& key, bool fallback) const;
+  std::string param_str(const std::string& key, std::string fallback) const;
+  sa::Precision param_precision(const std::string& key,
+                                sa::Precision fallback) const;
+};
+
+// One result row: ordered metric name/value pairs.
+struct ScenarioResult {
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void add(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+};
+
+struct ParamSpec {
+  std::string name;
+  std::string default_value;
+  std::string description;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> params;
+  std::function<ScenarioResult(const ScenarioRequest&)> run;
+  // A serial scenario never runs on more than one sweep worker at a time
+  // (e.g. wall-clock micro-benches, whose numbers concurrency would skew).
+  bool serial = false;
+
+  bool has_param(std::string_view key) const noexcept;
+};
+
+class ScenarioRegistry {
+ public:
+  // Returns false (and leaves the registry unchanged) on a duplicate name.
+  bool add(Scenario scenario);
+
+  // nullptr when unknown.
+  const Scenario* find(std::string_view name) const noexcept;
+
+  std::vector<std::string> names() const;
+  const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  // A registry pre-populated with every built-in scenario.
+  static ScenarioRegistry builtin();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+// Hardware knobs: folds recognized keys (node_count, mesh_width,
+// mesh_height, sa_rows, sa_cols, dram_channels, dram_efficiency, ccm_count,
+// matlb_entries, inner_k) into `config` and erases them from `params`.
+// Returns the list of keys it consumed.
+std::vector<std::string> apply_config_params(
+    std::map<std::string, std::string>& params, core::SystemConfig& config);
+
+// The config-knob names apply_config_params recognizes.
+const std::vector<std::string>& config_param_names();
+
+}  // namespace maco::driver

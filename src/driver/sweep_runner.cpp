@@ -1,0 +1,272 @@
+#include "driver/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "util/table.hpp"
+
+namespace maco::driver {
+namespace {
+
+// Formats metric values compactly: integers without a decimal point,
+// everything else at 10 significant digits — plenty for plotting and
+// comparison without 17-digit binary-representation noise.
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          escaped += buf;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+// The parameter set of Cartesian point `index` (row-major over the axes).
+std::map<std::string, std::string> point_params(
+    const SweepRequest& request, std::size_t index) {
+  std::map<std::string, std::string> params = request.base_params;
+  std::size_t remainder = index;
+  for (auto axis = request.axes.rbegin(); axis != request.axes.rend();
+       ++axis) {
+    params[axis->key] = axis->values[remainder % axis->values.size()];
+    remainder /= axis->values.size();
+  }
+  return params;
+}
+
+}  // namespace
+
+std::size_t sweep_point_count(const std::vector<SweepAxis>& axes) {
+  std::size_t count = 1;
+  for (const SweepAxis& axis : axes) count *= axis.values.size();
+  return count;
+}
+
+std::size_t SweepResults::failures() const noexcept {
+  std::size_t count = 0;
+  for (const SweepRow& row : rows) {
+    if (!row.ok()) ++count;
+  }
+  return count;
+}
+
+SweepResults run_sweep(const ScenarioRegistry& registry,
+                       const SweepRequest& request) {
+  const Scenario* scenario = registry.find(request.scenario);
+  if (scenario == nullptr) {
+    std::string known;
+    for (const std::string& name : registry.names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("unknown scenario '" + request.scenario +
+                                "' (known: " + known + ")");
+  }
+
+  // Validate every key up front: a key must be a scenario parameter or a
+  // hardware config knob. Doing this before any run keeps a 4-hour sweep
+  // from dying on a typo in its last axis.
+  const auto validate_key = [&](const std::string& key) {
+    if (scenario->has_param(key)) return;
+    const std::vector<std::string>& config_keys = config_param_names();
+    if (std::find(config_keys.begin(), config_keys.end(), key) !=
+        config_keys.end()) {
+      return;
+    }
+    throw std::invalid_argument("scenario '" + scenario->name +
+                                "' has no parameter '" + key +
+                                "' (see --list-scenarios)");
+  };
+  for (const auto& [key, value] : request.base_params) validate_key(key);
+  for (const SweepAxis& axis : request.axes) {
+    validate_key(axis.key);
+    if (axis.values.empty()) {
+      throw std::invalid_argument("sweep axis '" + axis.key +
+                                  "' has no values");
+    }
+  }
+
+  SweepResults results;
+  results.scenario = scenario->name;
+  for (const SweepAxis& axis : request.axes) {
+    results.param_columns.push_back(axis.key);
+  }
+  for (const auto& [key, value] : request.base_params) {
+    if (std::find(results.param_columns.begin(), results.param_columns.end(),
+                  key) == results.param_columns.end()) {
+      results.param_columns.push_back(key);
+    }
+  }
+
+  const std::size_t points = sweep_point_count(request.axes);
+  results.rows.resize(points);
+
+  // Worker pool: an atomic cursor hands out point indices; every run builds
+  // its own SystemConfig and ScenarioRequest, so runs share nothing.
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t index =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= points) return;
+      SweepRow& row = results.rows[index];
+      row.index = index;
+      row.params = point_params(request, index);
+      try {
+        ScenarioRequest run;
+        run.params = row.params;
+        apply_config_params(run.params, run.config);
+        row.result = scenario->run(run);
+      } catch (const std::exception& error) {
+        row.error = error.what();
+      }
+    }
+  };
+
+  const unsigned thread_count =
+      scenario->serial
+          ? 1u
+          : std::max(1u, std::min<unsigned>(
+                             request.threads,
+                             static_cast<unsigned>(points)));
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Metric columns: union over rows in first-seen order, so every row of a
+  // homogeneous sweep lines up and heterogeneous failures leave blanks.
+  // A metric that shares its name with a parameter column (e.g. a scenario
+  // echoing a swept `size`) is dropped — the parameter column already
+  // carries the value.
+  for (const SweepRow& row : results.rows) {
+    for (const auto& [name, value] : row.result.metrics) {
+      if (std::find(results.param_columns.begin(),
+                    results.param_columns.end(),
+                    name) != results.param_columns.end()) {
+        continue;
+      }
+      if (std::find(results.metric_columns.begin(),
+                    results.metric_columns.end(),
+                    name) == results.metric_columns.end()) {
+        results.metric_columns.push_back(name);
+      }
+    }
+  }
+  return results;
+}
+
+void write_csv(std::ostream& out, const SweepResults& results) {
+  bool first = true;
+  for (const std::string& column : results.param_columns) {
+    if (!first) out << ',';
+    util::write_csv_cell(out, column);
+    first = false;
+  }
+  for (const std::string& column : results.metric_columns) {
+    if (!first) out << ',';
+    util::write_csv_cell(out, column);
+    first = false;
+  }
+  if (!first) out << ',';
+  out << "error\n";
+
+  for (const SweepRow& row : results.rows) {
+    first = true;
+    for (const std::string& column : results.param_columns) {
+      if (!first) out << ',';
+      const auto it = row.params.find(column);
+      util::write_csv_cell(
+          out, it == row.params.end() ? std::string() : it->second);
+      first = false;
+    }
+    for (const std::string& column : results.metric_columns) {
+      if (!first) out << ',';
+      for (const auto& [name, value] : row.result.metrics) {
+        if (name == column) {
+          util::write_csv_cell(out, format_value(value));
+          break;
+        }
+      }
+      first = false;
+    }
+    if (!first) out << ',';
+    util::write_csv_cell(out, row.error);
+    out << '\n';
+  }
+}
+
+void write_json(std::ostream& out, const SweepResults& results) {
+  out << "{\"scenario\":\"" << json_escape(results.scenario)
+      << "\",\"rows\":[";
+  bool first_row = true;
+  for (const SweepRow& row : results.rows) {
+    if (!first_row) out << ',';
+    first_row = false;
+    out << "{\"params\":{";
+    bool first = true;
+    for (const auto& [key, value] : row.params) {
+      if (!first) out << ',';
+      out << '"' << json_escape(key) << "\":\"" << json_escape(value)
+          << '"';
+      first = false;
+    }
+    out << "},\"metrics\":{";
+    first = true;
+    for (const auto& [name, value] : row.result.metrics) {
+      if (!first) out << ',';
+      out << '"' << json_escape(name) << "\":";
+      if (std::isfinite(value)) {
+        out << format_value(value);
+      } else {
+        out << "null";
+      }
+      first = false;
+    }
+    out << '}';
+    if (!row.ok()) {
+      out << ",\"error\":\"" << json_escape(row.error) << '"';
+    }
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+}  // namespace maco::driver

@@ -1,0 +1,60 @@
+// Cartesian sweep execution for the `macosim` driver.
+//
+// A sweep request names one scenario, a set of fixed parameters and any
+// number of sweep axes; the runner expands the Cartesian product, validates
+// every key against the scenario's parameter list plus the hardware config
+// knobs, runs the points on a std::thread worker pool (one SystemConfig per
+// run — no shared mutable state), and serializes the rows as CSV or JSON.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/cli.hpp"
+#include "driver/scenario_registry.hpp"
+
+namespace maco::driver {
+
+struct SweepRequest {
+  std::string scenario;
+  std::map<std::string, std::string> base_params;  // --set fixed values
+  std::vector<SweepAxis> axes;                     // --sweep axes
+  unsigned threads = 1;
+};
+
+// One sweep point's outcome. `params` holds the full parameter set of the
+// point (base + axis values); `error` is non-empty when the run threw.
+struct SweepRow {
+  std::size_t index = 0;
+  std::map<std::string, std::string> params;
+  ScenarioResult result;
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+struct SweepResults {
+  std::string scenario;
+  std::vector<std::string> param_columns;   // axis keys then --set keys
+  std::vector<std::string> metric_columns;  // union over rows, first-seen
+  std::vector<SweepRow> rows;               // Cartesian order
+
+  std::size_t failures() const noexcept;
+};
+
+// Validates the request (unknown scenario or parameter keys => throws
+// std::invalid_argument before anything runs) and executes all points.
+SweepResults run_sweep(const ScenarioRegistry& registry,
+                       const SweepRequest& request);
+
+// Number of Cartesian points the axes expand to (1 when no axes).
+std::size_t sweep_point_count(const std::vector<SweepAxis>& axes);
+
+// Serialization. CSV: header of param+metric columns, one line per row.
+// JSON: {"scenario": ..., "rows": [{params, metrics, error?}, ...]}.
+void write_csv(std::ostream& out, const SweepResults& results);
+void write_json(std::ostream& out, const SweepResults& results);
+
+}  // namespace maco::driver

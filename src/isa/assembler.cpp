@@ -140,7 +140,10 @@ std::string disassemble(const Instruction& instruction) {
   std::ostringstream oss;
   oss << mnemonic_name(instruction.op) << ' ';
   auto reg = [](unsigned r) {
-    return r == kZeroRegister ? std::string("xzr") : "x" + std::to_string(r);
+    if (r == kZeroRegister) return std::string("xzr");
+    std::string name = "x";
+    name += std::to_string(r);
+    return name;
   };
   if (instruction.op == Mnemonic::kMaClear) {
     oss << reg(instruction.rn);

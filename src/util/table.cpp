@@ -99,8 +99,6 @@ void Table::print(std::ostream& os, const std::string& title) const {
 }
 
 
-namespace {
-
 void write_csv_cell(std::ostream& os, const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) {
     os << cell;
@@ -113,8 +111,6 @@ void write_csv_cell(std::ostream& os, const std::string& cell) {
   }
   os << '"';
 }
-
-}  // namespace
 
 void Table::print_csv(std::ostream& os) const {
   for (std::size_t c = 0; c < headers_.size(); ++c) {

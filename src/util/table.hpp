@@ -61,4 +61,8 @@ class Table {
 // Formats a double with fixed precision (no locale surprises).
 std::string format_double(double value, int precision);
 
+// Writes one RFC-4180 CSV cell: fields containing commas, quotes or
+// newlines are quoted, embedded quotes doubled.
+void write_csv_cell(std::ostream& os, const std::string& cell);
+
 }  // namespace maco::util

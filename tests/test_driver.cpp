@@ -1,0 +1,352 @@
+// The macosim driver: CLI parsing, scenario registry, sweep execution and
+// result serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/cli.hpp"
+#include "driver/scenario_registry.hpp"
+#include "driver/sweep_runner.hpp"
+
+namespace maco::driver {
+namespace {
+
+// A deterministic scenario that echoes its parameters as metrics, so sweep
+// mechanics are testable without the timing model.
+Scenario echo_scenario() {
+  Scenario s;
+  s.name = "echo";
+  s.description = "test scenario";
+  s.params = {{"a", "1", ""}, {"b", "1", ""}, {"fail", "false", ""}};
+  s.run = [](const ScenarioRequest& request) {
+    if (request.param_bool("fail", false)) {
+      throw std::runtime_error("deliberate failure");
+    }
+    ScenarioResult result;
+    result.add("a_times_10",
+               static_cast<double>(request.param_u64("a", 0) * 10));
+    result.add("b_plus_1",
+               static_cast<double>(request.param_u64("b", 0) + 1));
+    result.add("node_count", request.config.node_count);
+    return result;
+  };
+  return s;
+}
+
+ScenarioRegistry echo_registry() {
+  ScenarioRegistry registry;
+  EXPECT_TRUE(registry.add(echo_scenario()));
+  return registry;
+}
+
+// ---- CLI parsing ----
+
+TEST(Cli, ParsesFullCommandLine) {
+  const CliParse parse = parse_cli(
+      {"--scenario", "gemm", "--sweep", "nodes=1,4,16", "--sweep",
+       "size=1024,4096", "--set", "precision=fp32", "--threads", "4",
+       "--csv", "out.csv", "--json", "out.json", "--quiet"});
+  ASSERT_TRUE(parse.ok) << parse.error;
+  const CliOptions& options = parse.options;
+  EXPECT_EQ(options.scenario, "gemm");
+  ASSERT_EQ(options.sweeps.size(), 2u);
+  EXPECT_EQ(options.sweeps[0].key, "nodes");
+  EXPECT_EQ(options.sweeps[0].values,
+            (std::vector<std::string>{"1", "4", "16"}));
+  EXPECT_EQ(options.sweeps[1].key, "size");
+  ASSERT_EQ(options.params.count("precision"), 1u);
+  EXPECT_EQ(options.params.at("precision"), "fp32");
+  EXPECT_EQ(options.threads, 4u);
+  EXPECT_EQ(options.csv_path, "out.csv");
+  EXPECT_EQ(options.json_path, "out.json");
+  EXPECT_TRUE(options.quiet);
+}
+
+TEST(Cli, RequiresAScenario) {
+  const CliParse parse = parse_cli({"--threads", "2"});
+  EXPECT_FALSE(parse.ok);
+  EXPECT_NE(parse.error.find("--scenario"), std::string::npos);
+}
+
+TEST(Cli, ListAndHelpNeedNoScenario) {
+  EXPECT_TRUE(parse_cli({"--list-scenarios"}).ok);
+  EXPECT_TRUE(parse_cli({"--help"}).ok);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const CliParse parse = parse_cli({"--scenario", "gemm", "--frobnicate"});
+  EXPECT_FALSE(parse.ok);
+  EXPECT_NE(parse.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  EXPECT_FALSE(parse_cli({"--scenario"}).ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--sweep"}).ok);
+}
+
+TEST(Cli, RejectsDuplicateSweepAxis) {
+  const CliParse parse = parse_cli(
+      {"--scenario", "gemm", "--sweep", "size=1,2", "--sweep", "size=3,4"});
+  EXPECT_FALSE(parse.ok);
+  EXPECT_NE(parse.error.find("twice"), std::string::npos);
+}
+
+TEST(Cli, RejectsSetSweepConflicts) {
+  CliParse parse = parse_cli(
+      {"--scenario", "gemm", "--set", "size=1024", "--set", "size=4096"});
+  EXPECT_FALSE(parse.ok);
+  EXPECT_NE(parse.error.find("twice"), std::string::npos);
+  // --set then --sweep on the same key, and the reverse order.
+  parse = parse_cli(
+      {"--scenario", "gemm", "--set", "nodes=8", "--sweep", "nodes=1,4"});
+  EXPECT_FALSE(parse.ok);
+  parse = parse_cli(
+      {"--scenario", "gemm", "--sweep", "nodes=1,4", "--set", "nodes=8"});
+  EXPECT_FALSE(parse.ok);
+  EXPECT_NE(parse.error.find("both a --set and a --sweep"),
+            std::string::npos);
+}
+
+TEST(Sweep, SerialScenarioIgnoresThreadCount) {
+  ScenarioRegistry registry;
+  Scenario serial = echo_scenario();
+  serial.serial = true;
+  ASSERT_TRUE(registry.add(serial));
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2", "3"}}};
+  request.threads = 8;  // must still run (serially) and stay correct
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 3u);
+  EXPECT_EQ(results.failures(), 0u);
+  EXPECT_DOUBLE_EQ(results.rows[2].result.metrics[0].second, 30.0);
+}
+
+TEST(Cli, RejectsBadThreadCount) {
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--threads", "0"}).ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--threads", "many"}).ok);
+}
+
+TEST(Cli, RejectsMalformedSetAndSweep) {
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--set", "noequals"}).ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--set", "key="}).ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--sweep", "k=1,,2"}).ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--sweep", "=1,2"}).ok);
+}
+
+TEST(Cli, ParseAxisSplitsValues) {
+  const AxisParse axis = parse_axis("nodes=1,4,16");
+  ASSERT_TRUE(axis.ok) << axis.error;
+  EXPECT_EQ(axis.axis.key, "nodes");
+  EXPECT_EQ(axis.axis.values, (std::vector<std::string>{"1", "4", "16"}));
+}
+
+// ---- scenario registry ----
+
+TEST(Registry, BuiltinCoversWorkloadsBaselinesAndBenches) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  for (const char* name :
+       {"gemm", "hpl", "resnet50", "bert", "gpt3", "baselines",
+        "fig6_translation", "fig7_scalability", "fig8_dl_comparison",
+        "ablation_features", "area_power", "ext_sparsity", "tables",
+        "micro_components"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, FindRejectsUnknownName) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+  EXPECT_EQ(registry.find(""), nullptr);
+}
+
+TEST(Registry, AddRejectsDuplicateName) {
+  ScenarioRegistry registry;
+  EXPECT_TRUE(registry.add(echo_scenario()));
+  EXPECT_FALSE(registry.add(echo_scenario()));
+  EXPECT_EQ(registry.scenarios().size(), 1u);
+}
+
+TEST(Registry, ConfigParamsFoldIntoSystemConfig) {
+  std::map<std::string, std::string> params = {
+      {"node_count", "4"},  {"sa_rows", "8"},
+      {"sa_cols", "8"},     {"dram_efficiency", "0.5"},
+      {"size", "1024"},  // not a config knob: must survive
+  };
+  core::SystemConfig config = core::SystemConfig::maco_default();
+  const std::vector<std::string> consumed =
+      apply_config_params(params, config);
+  EXPECT_EQ(consumed.size(), 4u);
+  EXPECT_EQ(config.node_count, 4u);
+  EXPECT_EQ(config.mmae.sa.rows, 8u);
+  EXPECT_EQ(config.mmae.sa.cols, 8u);
+  EXPECT_DOUBLE_EQ(config.dram_efficiency, 0.5);
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_EQ(params.count("size"), 1u);
+}
+
+TEST(Registry, ConfigParamsRejectMalformedValues) {
+  core::SystemConfig config = core::SystemConfig::maco_default();
+  std::map<std::string, std::string> bad_int = {{"node_count", "lots"}};
+  EXPECT_THROW(apply_config_params(bad_int, config), std::invalid_argument);
+  std::map<std::string, std::string> bad_eff = {{"dram_efficiency", "1.5"}};
+  EXPECT_THROW(apply_config_params(bad_eff, config), std::invalid_argument);
+}
+
+TEST(Registry, TypedParamAccessors) {
+  ScenarioRequest request;
+  request.params = {{"size", "4096"},
+                    {"eff", "0.75"},
+                    {"flag", "on"},
+                    {"precision", "fp16"},
+                    {"junk", "xyz"}};
+  EXPECT_EQ(request.param_u64("size", 0), 4096u);
+  EXPECT_EQ(request.param_u64("absent", 7), 7u);
+  EXPECT_DOUBLE_EQ(request.param_double("eff", 0.0), 0.75);
+  EXPECT_TRUE(request.param_bool("flag", false));
+  EXPECT_EQ(request.param_precision("precision", sa::Precision::kFp64),
+            sa::Precision::kFp16);
+  EXPECT_THROW(request.param_u64("junk", 0), std::invalid_argument);
+  EXPECT_THROW(request.param_bool("junk", false), std::invalid_argument);
+  EXPECT_THROW(request.param_precision("junk", sa::Precision::kFp64),
+               std::invalid_argument);
+}
+
+// ---- sweep runner ----
+
+TEST(Sweep, TwoByTwoProducesFourRowsInCartesianOrder) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2"}}, {"b", {"3", "4"}}};
+  request.threads = 4;
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 4u);
+  EXPECT_EQ(results.failures(), 0u);
+  // Row-major over the axes: (1,3) (1,4) (2,3) (2,4).
+  const char* expected[4][2] = {{"1", "3"}, {"1", "4"}, {"2", "3"},
+                                {"2", "4"}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results.rows[i].index, i);
+    EXPECT_EQ(results.rows[i].params.at("a"), expected[i][0]);
+    EXPECT_EQ(results.rows[i].params.at("b"), expected[i][1]);
+    ASSERT_EQ(results.rows[i].result.metrics.size(), 3u);
+  }
+  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[0].second, 20.0);
+  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[1].second, 5.0);
+}
+
+TEST(Sweep, RejectsUnknownScenarioBeforeRunning) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "no_such_scenario";
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+}
+
+TEST(Sweep, RejectsUnknownParameterKeyBeforeRunning) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.base_params = {{"typo", "1"}};
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+  request.base_params.clear();
+  request.axes = {{"also_a_typo", {"1", "2"}}};
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+}
+
+TEST(Sweep, AcceptsConfigKnobsAsSweepAxes) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"node_count", {"2", "8"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 2u);
+  // The echo scenario reports the config it actually received.
+  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[2].second, 2.0);
+  EXPECT_DOUBLE_EQ(results.rows[1].result.metrics[2].second, 8.0);
+}
+
+TEST(Sweep, FailingRunIsIsolatedToItsRow) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"fail", {"false", "true"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 2u);
+  EXPECT_TRUE(results.rows[0].ok());
+  EXPECT_FALSE(results.rows[1].ok());
+  EXPECT_NE(results.rows[1].error.find("deliberate failure"),
+            std::string::npos);
+  EXPECT_EQ(results.failures(), 1u);
+}
+
+TEST(Sweep, NoAxesMeansOneRun) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.base_params = {{"a", "5"}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[0].second, 50.0);
+}
+
+TEST(Sweep, PointCount) {
+  EXPECT_EQ(sweep_point_count({}), 1u);
+  EXPECT_EQ(sweep_point_count({{"a", {"1", "2", "3"}}}), 3u);
+  EXPECT_EQ(sweep_point_count({{"a", {"1", "2"}}, {"b", {"1", "2", "3"}}}),
+            6u);
+}
+
+TEST(Sweep, CsvHasHeaderAndOneLinePerRun) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2"}}, {"b", {"3", "4"}}};
+  const SweepResults results = run_sweep(registry, request);
+  std::ostringstream out;
+  write_csv(out, results);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n');
+  EXPECT_EQ(lines, 5u);  // header + 4 runs
+  EXPECT_EQ(csv.rfind("a,b,a_times_10,b_plus_1,node_count,error\n", 0), 0u);
+  EXPECT_NE(csv.find("\n2,4,20,5,16,\n"), std::string::npos);
+}
+
+TEST(Sweep, JsonSerializesParamsAndMetrics) {
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.base_params = {{"a", "2"}};
+  const SweepResults results = run_sweep(registry, request);
+  std::ostringstream out;
+  write_json(out, results);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"scenario\":\"echo\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\":\"2\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_times_10\":20"), std::string::npos);
+}
+
+// ---- end to end on a real scenario (small sizes keep this fast) ----
+
+TEST(Sweep, GemmTwoByTwoOnBuiltinRegistry) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "512"}};
+  request.axes = {{"nodes", {"1", "4"}}, {"matlb", {"true", "false"}}};
+  request.threads = 4;
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 4u);
+  EXPECT_EQ(results.failures(), 0u);
+  for (const SweepRow& row : results.rows) {
+    double gflops = 0.0;
+    for (const auto& [name, value] : row.result.metrics) {
+      if (name == "gflops") gflops = value;
+    }
+    EXPECT_GT(gflops, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace maco::driver
