@@ -10,6 +10,7 @@
 
 #include "core/config.hpp"
 #include "cpu/mtq.hpp"
+#include "driver/hardware_knobs.hpp"
 #include "isa/encoding.hpp"
 #include "util/table.hpp"
 
@@ -132,11 +133,21 @@ void table3_mtq_entry() {
   std::puts("");
 }
 
+// Appendix: which of the platform parameters above are sweepable from the
+// macosim CLI, straight from the driver's typed hardware schema — the same
+// single source --list-scenarios and the sweep runner validate against.
+void appendix_sweepable_knobs() {
+  maco::driver::print_hardware_knob_table(
+      std::cout, "Appendix: hardware knobs sweepable via `macosim --sweep`");
+  std::puts("");
+}
+
 }  // namespace
 
 int main() {
   table1_cpu_parameters();
   table2_mpais_instructions();
   table3_mtq_entry();
+  appendix_sweepable_knobs();
   return 0;
 }

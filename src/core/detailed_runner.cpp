@@ -1,0 +1,172 @@
+#include "core/detailed_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/maco_system.hpp"
+#include "isa/params.hpp"
+#include "sa/host_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace maco::core {
+namespace {
+
+[[noreturn]] void unsupported(const std::string& what) {
+  throw std::invalid_argument("fidelity=detailed " + what);
+}
+
+void check_supported(const SystemConfig& config,
+                     const TimingOptions& options) {
+  if (options.cooperative) {
+    unsupported("runs one independent GEMM per node; cooperative splitting "
+                "is analytic-only (set cooperative=false)");
+  }
+  if (!options.use_stash_lock) {
+    unsupported("always models the stash+lock scheme; stash_lock=false is "
+                "analytic-only");
+  }
+  if (options.page_bytes != 4096) {
+    unsupported("uses the hardware 4 KiB page tables; page_bytes is "
+                "analytic-only");
+  }
+  if (options.tlb_entries_override != 0 || options.engine_overlap != 1.0 ||
+      options.sync_overhead_per_tile_ps != 0 ||
+      options.dma_bandwidth_scale != 1.0 ||
+      options.simd_ways_override != 0 || options.sa_rows_override != 0 ||
+      options.sa_cols_override != 0 || options.pte_always_cold ||
+      options.pte_walks_warm) {
+    unsupported("does not support the analytic baseline overrides");
+  }
+  const std::uint64_t largest =
+      std::max({options.shape.m, options.shape.n, options.shape.k});
+  if (largest > kDetailedMaxDim) {
+    unsupported("caps each GEMM dimension at " +
+                std::to_string(kDetailedMaxDim) + " (got " +
+                std::to_string(largest) +
+                "); use fidelity=analytic for paper-scale shapes");
+  }
+  if (options.shape.m == 0 || options.shape.n == 0 || options.shape.k == 0) {
+    unsupported("needs a non-empty GEMM shape");
+  }
+  if (options.tile_rows > 65535 || options.tile_cols > 65535 ||
+      options.inner > 65535) {
+    unsupported("encodes tile sizes in 16-bit MPAIS fields");
+  }
+  if (config.node_count == 0) unsupported("needs at least one node");
+}
+
+}  // namespace
+
+SystemTiming run_detailed_gemm(const SystemConfig& config,
+                               const TimingOptions& options) {
+  check_supported(config, options);
+
+  SystemConfig detailed_config = config;
+  detailed_config.node_count = std::max(
+      1u, std::min(options.active_nodes, config.node_count));
+  detailed_config.mmae.use_matlb = options.use_matlb;
+
+  MacoSystem system(detailed_config);
+  const unsigned nodes = system.node_count();
+
+  // Program one independent GEMM per node (Fig. 7's independent mode),
+  // each in its own process/address space with real random operands.
+  for (unsigned n = 0; n < nodes; ++n) {
+    Process& process = system.create_process();
+    system.schedule_process(n, process);
+    util::Rng rng(0x9e3779b9u + n);
+
+    const auto a = system.alloc_matrix(process, options.shape.m,
+                                       options.shape.k);
+    const auto b = system.alloc_matrix(process, options.shape.k,
+                                       options.shape.n);
+    const auto c = system.alloc_matrix(process, options.shape.m,
+                                       options.shape.n);
+    system.write_matrix(process, a,
+                        sa::HostMatrix::random(options.shape.m,
+                                               options.shape.k, rng));
+    system.write_matrix(process, b,
+                        sa::HostMatrix::random(options.shape.k,
+                                               options.shape.n, rng));
+    system.write_matrix(process, c,
+                        sa::HostMatrix(options.shape.m, options.shape.n));
+
+    isa::GemmParams gemm;
+    gemm.a_base = a.base;
+    gemm.b_base = b.base;
+    gemm.c_base = c.base;
+    gemm.m = static_cast<std::uint32_t>(options.shape.m);
+    gemm.n = static_cast<std::uint32_t>(options.shape.n);
+    gemm.k = static_cast<std::uint32_t>(options.shape.k);
+    gemm.precision = options.precision;
+    gemm.tile_rows = static_cast<std::uint16_t>(options.tile_rows);
+    gemm.tile_cols = static_cast<std::uint16_t>(options.tile_cols);
+    gemm.inner_tile_rows = static_cast<std::uint16_t>(options.inner);
+    gemm.inner_tile_cols = static_cast<std::uint16_t>(options.inner);
+
+    cpu::CpuCore& cpu = system.node(n).cpu();
+    cpu.regs().write_param_block(10, gemm.pack());
+    cpu.execute_source("ma_cfg x5, x10");
+  }
+
+  system.run();
+
+  const double peak_macs = detailed_config.mmae_peak_macs(options.precision);
+  const auto tiles_along = [&](std::uint64_t extent) {
+    return (extent + options.inner - 1) / options.inner;
+  };
+  const double inner_tiles = static_cast<double>(
+      tiles_along(options.shape.m) * tiles_along(options.shape.n) *
+      tiles_along(options.shape.k));
+
+  SystemTiming timing;
+  double walks = 0.0;
+  double predicted = 0.0;
+  double stall_ps = 0.0;
+  std::uint64_t total_macs = 0;
+  for (unsigned n = 0; n < nodes; ++n) {
+    cpu::CpuCore& cpu = system.node(n).cpu();
+    const auto& entry =
+        cpu.mtq().entry(static_cast<cpu::Maid>(cpu.regs().read(5)));
+    if (!entry.done || entry.exception_en) {
+      throw std::runtime_error("detailed run failed on node " +
+                               std::to_string(n) + ": task " +
+                               (entry.done ? "raised an exception"
+                                           : "never completed"));
+    }
+    const mmae::TaskReport& report = system.node(n).mmae().reports().front();
+    NodeTiming node;
+    node.span_ps = report.end - report.start;
+    node.compute_ps = report.sa_busy_ps;
+    node.translation_exposed_ps = report.translation_stall_ps;
+    node.macs = report.macs;
+    node.efficiency = report.efficiency(peak_macs);
+    node.gflops = report.duration_seconds() > 0.0
+                      ? 2.0 * static_cast<double>(report.macs) /
+                            report.duration_seconds() / 1e9
+                      : 0.0;
+    timing.makespan_ps = std::max(timing.makespan_ps, report.end);
+    timing.mean_efficiency += node.efficiency;
+    total_macs += report.macs;
+    walks += static_cast<double>(report.blocking_walks);
+    predicted += static_cast<double>(report.matlb_hits);
+    stall_ps += static_cast<double>(report.translation_stall_ps);
+    timing.nodes.push_back(node);
+  }
+  timing.mean_efficiency /= static_cast<double>(nodes);
+  const double makespan_s = sim::to_seconds(timing.makespan_ps);
+  timing.total_gflops =
+      makespan_s > 0.0
+          ? 2.0 * static_cast<double>(total_macs) / makespan_s / 1e9
+          : 0.0;
+
+  const double total_tiles = inner_tiles * static_cast<double>(nodes);
+  timing.translation.walks_per_tile = walks / total_tiles;
+  timing.translation.pages_per_tile = (walks + predicted) / total_tiles;
+  timing.translation.stall_per_tile_ps =
+      static_cast<sim::TimePs>(stall_ps / total_tiles);
+  return timing;
+}
+
+}  // namespace maco::core

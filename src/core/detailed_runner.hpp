@@ -1,0 +1,30 @@
+// Detailed-fidelity GEMM execution: TimingOptions in, SystemTiming out.
+//
+// The adapter between the experiment API and MacoSystem: it instantiates
+// the whole chip, programs one independent GEMM per active node through the
+// real MPAIS path (MA_CFG -> MTQ -> STQ -> DMA -> systolic array -> memory,
+// with real data) and condenses the per-node TaskReports into the same
+// SystemTiming record the analytic SystemTimingModel produces, so the two
+// fidelities are interchangeable behind exp::ExecutionBackend.
+//
+// Detailed runs are orders of magnitude slower than the closed forms, so
+// the entry point enforces the analytic-only knobs and a size cap with
+// typed diagnostics instead of silently mis-modeling or running for hours.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+
+namespace maco::core {
+
+// Largest per-dimension GEMM size run_detailed_gemm accepts (a full
+// detailed node at this size already simulates hundreds of inner tiles).
+inline constexpr std::uint64_t kDetailedMaxDim = 2048;
+
+// Throws std::invalid_argument when `options` asks for something the
+// detailed machine cannot honor (cooperative splitting, stash_lock=false,
+// tlb/overlap baseline overrides, a dimension beyond kDetailedMaxDim).
+SystemTiming run_detailed_gemm(const SystemConfig& config,
+                               const TimingOptions& options);
+
+}  // namespace maco::core

@@ -135,6 +135,16 @@ CliParse parse_cli(const std::vector<std::string>& args) {
     } else if (arg == "--json") {
       if (!value_of(i, value)) return result;
       options.json_path = value;
+    } else if (arg == "--output" || arg == "-o") {
+      if (!value_of(i, value)) return result;
+      options.output_path = value;
+    } else if (arg == "--format") {
+      if (!value_of(i, value)) return result;
+      if (value != "csv" && value != "json") {
+        result.error = "--format wants csv or json, got '" + value + "'";
+        return result;
+      }
+      options.output_format = value;
     } else {
       result.error = "unknown argument '" + arg + "' (see --help)";
       return result;
@@ -145,6 +155,29 @@ CliParse parse_cli(const std::vector<std::string>& args) {
       options.scenario.empty()) {
     result.error = "no --scenario given (see --list-scenarios)";
     return result;
+  }
+  if (!options.output_format.empty() && options.output_path.empty()) {
+    result.error = "--format needs --output FILE";
+    return result;
+  }
+  if (!options.output_path.empty() && options.output_format.empty()) {
+    // No explicit --format: infer from the extension so `--output x.json`
+    // cannot silently fill a .json file with CSV.
+    const std::string& path = options.output_path;
+    options.output_format =
+        path.size() >= 5 && path.rfind(".json") == path.size() - 5 ? "json"
+                                                                   : "csv";
+  }
+  if (!options.output_path.empty()) {
+    const bool json = options.output_format == "json";
+    if (json && !options.json_path.empty()) {
+      result.error = "--output with --format json conflicts with --json";
+      return result;
+    }
+    if (!json && !options.csv_path.empty()) {
+      result.error = "--output (CSV) conflicts with --csv";
+      return result;
+    }
   }
   result.ok = true;
   return result;
@@ -163,21 +196,28 @@ std::string usage() {
          "  --sweep KEY=V1,V2,...  sweep one axis (repeatable; axes combine\n"
          "                         as a Cartesian product)\n"
          "  --threads N            worker threads for the sweep (default 1)\n"
+         "  --output FILE          write results to FILE (see --format)\n"
+         "  --format csv|json      format for --output (default: json for\n"
+         "                         a .json FILE, csv otherwise)\n"
          "  --csv FILE             write results CSV (default\n"
          "                         macosim_results.csv; '-' for stdout)\n"
          "  --json FILE            also write results as JSON\n"
          "  --quiet                suppress the progress/result table\n"
-         "  --list-scenarios       list scenarios and their parameters\n"
+         "  --list-scenarios       list scenarios with their typed\n"
+         "                         parameters (type, default, range)\n"
          "  --help                 this text\n"
          "\n"
-         "Parameters are scenario knobs (e.g. size, precision, nodes) or\n"
-         "hardware config knobs (e.g. node_count, mesh_width, sa_rows,\n"
-         "dram_channels, dram_efficiency, matlb_entries). Unknown keys are\n"
-         "rejected before any run starts.\n"
+         "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
+         "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"
+         "dram_efficiency, l2_kib, l3_slice_kib, stlb_entries,\n"
+         "dma_outstanding). Every value is validated against the typed\n"
+         "schema before any run starts. Scenarios supporting it accept\n"
+         "fidelity=analytic|detailed to choose between the analytic timing\n"
+         "model and the detailed flit-level MacoSystem.\n"
          "\n"
          "example:\n"
          "  macosim --scenario gemm --sweep nodes=1,4,16 \\\n"
-         "          --sweep size=1024,4096 --threads 4 --csv sweep.csv\n";
+         "          --sweep size=1024,4096 --threads 4 --output sweep.csv\n";
   return out.str();
 }
 

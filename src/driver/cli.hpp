@@ -4,8 +4,9 @@
 //
 //   macosim --list-scenarios
 //   macosim --scenario gemm --set size=4096 --set precision=fp32
+//   macosim --scenario gemm --set fidelity=detailed --set size=512
 //   macosim --scenario gemm --sweep nodes=1,4,16 --sweep size=1024,4096
-//           --threads 4 --csv out.csv --json out.json
+//           --threads 4 --output sweep.json --format json
 //
 // Parsing is pure (no I/O, no exit()) so tests can drive it directly.
 #pragma once
@@ -31,8 +32,10 @@ struct CliOptions {
   std::map<std::string, std::string> params;  // --set key=value overrides
   std::vector<SweepAxis> sweeps;              // --sweep axes (Cartesian)
   unsigned threads = 1;
-  std::string csv_path;   // empty => default; "-" => stdout
-  std::string json_path;  // empty => no JSON output
+  std::string output_path;    // --output FILE (format from --format)
+  std::string output_format;  // "csv" (default) or "json"
+  std::string csv_path;       // --csv: empty => default; "-" => stdout
+  std::string json_path;      // --json: empty => no JSON output
 };
 
 struct CliParse {

@@ -1,14 +1,16 @@
 // macosim: the unified MACO simulation driver.
 //
 // Every workload, baseline and paper figure is a registered scenario;
-// hardware knobs and scenario parameters share one --set/--sweep grammar.
-// See driver/cli.hpp for the grammar and driver/scenario_registry.cpp for
-// the scenario catalogue.
+// hardware knobs and scenario parameters share one --set/--sweep grammar
+// backed by typed schemas. See driver/cli.hpp for the grammar,
+// driver/scenario_registry.cpp for the scenario catalogue and
+// driver/hardware_knobs.cpp for the sweepable hardware parameters.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "driver/cli.hpp"
+#include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
 #include "driver/sweep_runner.hpp"
 #include "util/table.hpp"
@@ -17,32 +19,50 @@ namespace {
 
 using namespace maco;
 
+// "size:u64=4096 [1,1048576]" / "precision:enum=fp64 fp64|fp32|fp16".
+std::string describe_param(const exp::ParamDecl& decl) {
+  std::string text = decl.name;
+  text += ':';
+  text += exp::param_type_name(decl.type);
+  text += '=';
+  text += decl.default_value.to_string();
+  const std::string range = decl.range_text();
+  if (!range.empty()) {
+    text += ' ';
+    text += range;
+  }
+  return text;
+}
+
 void list_scenarios(const driver::ScenarioRegistry& registry) {
-  util::Table t({"Scenario", "Parameters", "Description"});
+  util::Table t({"Scenario", "Parameters (name:type=default range)",
+                 "Description"});
   for (const driver::Scenario& scenario : registry.scenarios()) {
     std::ostringstream params;
     bool first = true;
-    for (const driver::ParamSpec& spec : scenario.params) {
-      if (!first) params << " ";
-      params << spec.name;
-      if (!spec.default_value.empty()) params << "=" << spec.default_value;
+    for (const exp::ParamDecl& decl : scenario.schema.decls()) {
+      if (!first) params << "  ";
+      params << describe_param(decl);
       first = false;
     }
     t.row().cell(scenario.name).cell(params.str()).cell(
         scenario.description);
   }
-  t.print(std::cout, "macosim scenarios (hardware knobs apply to all: "
-                     "node_count, mesh_width, mesh_height, sa_rows, "
-                     "sa_cols, dram_channels, dram_efficiency, ccm_count, "
-                     "matlb_entries, inner_k)");
+  t.print(std::cout, "macosim scenarios");
+
+  driver::print_hardware_knob_table(
+      std::cout, "hardware knobs (settable/sweepable with any scenario)");
 }
 
 void print_results(const driver::SweepResults& results) {
   std::vector<std::string> headers;
   headers.insert(headers.end(), results.param_columns.begin(),
                  results.param_columns.end());
-  headers.insert(headers.end(), results.metric_columns.begin(),
-                 results.metric_columns.end());
+  for (const driver::MetricColumn& column : results.metric_columns) {
+    headers.push_back(column.unit.empty()
+                          ? column.name
+                          : column.name + " [" + column.unit + "]");
+  }
   if (headers.empty()) headers.push_back("(no columns)");
   util::Table t(headers);
   for (const driver::SweepRow& row : results.rows) {
@@ -51,16 +71,12 @@ void print_results(const driver::SweepResults& results) {
       const auto it = row.params.find(column);
       out.cell(it == row.params.end() ? "" : it->second);
     }
-    for (const std::string& column : results.metric_columns) {
-      bool found = false;
-      for (const auto& [name, value] : row.result.metrics) {
-        if (name == column) {
-          out.cell(value, 4);
-          found = true;
-          break;
-        }
+    for (const driver::MetricColumn& column : results.metric_columns) {
+      if (const exp::Metric* metric = row.result.find(column.name)) {
+        out.cell(metric->value, 4);
+      } else {
+        out.cell(row.ok() ? "" : "ERROR");
       }
-      if (!found) out.cell(row.ok() ? "" : "ERROR");
     }
   }
   std::ostringstream title;
@@ -74,6 +90,26 @@ void print_results(const driver::SweepResults& results) {
       std::cout << "run " << row.index << " failed: " << row.error << "\n";
     }
   }
+}
+
+bool write_to(const std::string& path, bool quiet,
+              const driver::SweepResults& results,
+              void (*writer)(std::ostream&, const driver::SweepResults&)) {
+  if (path == "-") {
+    writer(std::cout, results);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "macosim: cannot write " << path << "\n";
+    return false;
+  }
+  writer(out, results);
+  if (!quiet) {
+    std::cout << "wrote " << results.rows.size() << " row(s) to " << path
+              << "\n";
+  }
+  return true;
 }
 
 }  // namespace
@@ -114,32 +150,27 @@ int main(int argc, char** argv) {
 
   if (!options.quiet) print_results(results);
 
-  const std::string csv_path =
-      options.csv_path.empty() ? "macosim_results.csv" : options.csv_path;
-  if (csv_path == "-") {
-    driver::write_csv(std::cout, results);
-  } else {
-    std::ofstream out(csv_path);
-    if (!out) {
-      std::cerr << "macosim: cannot write " << csv_path << "\n";
+  // --output names one destination in the chosen --format; the legacy
+  // --csv/--json flags remain as independent destinations. The default CSV
+  // is only written when no explicit --output/--csv destination was given.
+  const bool output_is_json = options.output_format == "json";
+  if (!options.output_path.empty()) {
+    if (!write_to(options.output_path, options.quiet, results,
+                  output_is_json ? driver::write_json : driver::write_csv)) {
       return 2;
     }
-    driver::write_csv(out, results);
-    if (!options.quiet) {
-      std::cout << "wrote " << results.rows.size() << " row(s) to "
-                << csv_path << "\n";
+  }
+  if (options.output_path.empty() || !options.csv_path.empty()) {
+    const std::string csv_path =
+        options.csv_path.empty() ? "macosim_results.csv" : options.csv_path;
+    if (!write_to(csv_path, options.quiet, results, driver::write_csv)) {
+      return 2;
     }
   }
   if (!options.json_path.empty()) {
-    if (options.json_path == "-") {
-      driver::write_json(std::cout, results);
-    } else {
-      std::ofstream out(options.json_path);
-      if (!out) {
-        std::cerr << "macosim: cannot write " << options.json_path << "\n";
-        return 2;
-      }
-      driver::write_json(out, results);
+    if (!write_to(options.json_path, options.quiet, results,
+                  driver::write_json)) {
+      return 2;
     }
   }
   return results.failures() == 0 ? 0 : 1;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -18,66 +17,89 @@
 namespace maco::driver {
 namespace {
 
-[[noreturn]] void bad_param(const std::string& key, const std::string& value,
-                            const char* wanted) {
-  throw std::invalid_argument("parameter '" + key + "': expected " + wanted +
-                              ", got '" + value + "'");
+const std::vector<std::string>& precision_choices() {
+  static const std::vector<std::string> choices = {"fp64", "fp32", "fp16"};
+  return choices;
 }
 
-// Scenario params shared by every timing-model workload scenario.
-std::vector<ParamSpec> timing_params() {
-  return {
-      {"nodes", "16", "active compute nodes"},
-      {"precision", "", "fp64|fp32|fp16 (default per scenario)"},
-      {"matlb", "true", "predictive address translation on/off"},
-      {"stash_lock", "true", "L3 stash+lock mapping on/off"},
-      {"cooperative", "", "split one GEMM across nodes (default per "
-                          "scenario)"},
-      {"tile", "1024", "first-level tile rows/cols"},
-      {"inner", "64", "second-level (systolic) tile"},
-      {"page_bytes", "4096", "translation page size"},
-  };
+sa::Precision precision_from(const std::string& name) {
+  if (name == "fp64") return sa::Precision::kFp64;
+  if (name == "fp32") return sa::Precision::kFp32;
+  if (name == "fp16") return sa::Precision::kFp16;
+  throw std::invalid_argument("unknown precision '" + name + "'");
 }
 
-core::TimingOptions timing_options_from(const ScenarioRequest& request,
-                                        sa::Precision default_precision,
-                                        bool default_cooperative) {
+// Schema shared by every timing scenario. Defaults that the old string API
+// resolved "per scenario" at run time are now declared per scenario.
+// `nodes` follows the instantiated node_count unless set explicitly, so a
+// node_count sweep activates the extra nodes; the declared 16 documents
+// the paper platform.
+void declare_nodes(exp::ParamSchema& s, const char* description) {
+  s.u64("nodes", 16, description, 1, 64);
+}
+
+unsigned active_nodes_from(const ScenarioRequest& request) {
+  const std::uint64_t nodes = request.params.was_set("nodes")
+                                  ? request.params.u64("nodes")
+                                  : request.config.node_count;
+  return static_cast<unsigned>(
+      std::min<std::uint64_t>(nodes, request.config.node_count));
+}
+
+exp::ParamSchema timing_schema(const char* default_precision,
+                               bool default_cooperative,
+                               std::vector<std::string> fidelities) {
+  exp::ParamSchema s;
+  declare_nodes(s, "active compute nodes (defaults to node_count)");
+  s.enumerant("precision", default_precision, precision_choices(),
+              "MAC precision");
+  s.flag("matlb", true, "predictive address translation on/off");
+  s.flag("stash_lock", true, "L3 stash+lock mapping on/off");
+  s.flag("cooperative", default_cooperative,
+         "split one GEMM across nodes");
+  s.u64("tile", 1024, "first-level tile rows/cols", 1, 65535);
+  s.u64("inner", 64, "second-level (systolic) tile", 1, 65535);
+  s.u64("page_bytes", 4096, "translation page size", 256, 1048576);
+  s.enumerant("fidelity", "analytic", std::move(fidelities),
+              "execution backend");
+  return s;
+}
+
+core::TimingOptions timing_options_from(const ScenarioRequest& request) {
   core::TimingOptions options;
-  options.precision =
-      request.param_precision("precision", default_precision);
-  options.active_nodes = static_cast<unsigned>(std::min<std::uint64_t>(
-      request.param_u64("nodes", request.config.node_count),
-      request.config.node_count));
-  options.cooperative =
-      request.param_bool("cooperative", default_cooperative);
-  options.use_matlb = request.param_bool("matlb", true);
-  options.use_stash_lock = request.param_bool("stash_lock", true);
-  options.tile_rows = request.param_u64("tile", options.tile_rows);
+  options.precision = precision_from(request.params.str("precision"));
+  options.active_nodes = active_nodes_from(request);
+  options.cooperative = request.params.flag("cooperative");
+  options.use_matlb = request.params.flag("matlb");
+  options.use_stash_lock = request.params.flag("stash_lock");
+  options.tile_rows = request.params.u64("tile");
   options.tile_cols = options.tile_rows;
-  options.inner = request.param_u64("inner", options.inner);
-  options.page_bytes = request.param_u64("page_bytes", options.page_bytes);
+  options.inner = request.params.u64("inner");
+  options.page_bytes = request.params.u64("page_bytes");
   return options;
 }
 
 void add_system_metrics(ScenarioResult& result,
                         const core::SystemTiming& timing) {
-  result.add("gflops", timing.total_gflops);
+  result.add("gflops", timing.total_gflops, "GFLOP/s");
   result.add("mean_efficiency", timing.mean_efficiency);
-  result.add("makespan_ms", static_cast<double>(timing.makespan_ps) / 1e9);
-  result.add("walks_per_tile", timing.translation.walks_per_tile);
-  result.add("pages_per_tile", timing.translation.pages_per_tile);
+  result.add("makespan_ms", static_cast<double>(timing.makespan_ps) / 1e9,
+             "ms", /*higher_is_better=*/false);
+  result.add("walks_per_tile", timing.translation.walks_per_tile, "",
+             /*higher_is_better=*/false);
+  result.add("pages_per_tile", timing.translation.pages_per_tile, "",
+             /*higher_is_better=*/false);
 }
 
 ScenarioResult run_workload_layers(const ScenarioRequest& request,
-                                   const wl::Workload& workload,
-                                   bool default_cooperative) {
-  const core::SystemTimingModel model(request.config);
-  const core::TimingOptions options =
-      timing_options_from(request, workload.precision, default_cooperative);
+                                   const wl::Workload& workload) {
+  const auto backend = request.backend();
+  const core::TimingOptions options = timing_options_from(request);
   const core::SystemTiming timing =
-      model.run_layers(workload.expanded_shapes(), options);
+      backend->run_layers(workload.expanded_shapes(), options);
   ScenarioResult result;
-  result.add("total_gflop", static_cast<double>(workload.total_flops()) / 1e9);
+  result.add("total_gflop", static_cast<double>(workload.total_flops()) / 1e9,
+             "GFLOP");
   add_system_metrics(result, timing);
   return result;
 }
@@ -88,16 +110,15 @@ Scenario gemm_scenario() {
   s.description =
       "square GEMM on the full MACO system (independent per node by "
       "default, as Fig. 7)";
-  s.params = timing_params();
-  s.params.push_back({"size", "4096", "square matrix dimension"});
+  s.schema = timing_schema("fp64", /*default_cooperative=*/false,
+                           {"analytic", "detailed"});
+  s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
   s.run = [](const ScenarioRequest& request) {
-    const core::SystemTimingModel model(request.config);
-    core::TimingOptions options =
-        timing_options_from(request, sa::Precision::kFp64,
-                            /*default_cooperative=*/false);
-    const std::uint64_t size = request.param_u64("size", 4096);
+    const auto backend = request.backend();
+    core::TimingOptions options = timing_options_from(request);
+    const std::uint64_t size = request.params.u64("size");
     options.shape = sa::TileShape{size, size, size};
-    const core::SystemTiming timing = model.run(options);
+    const core::SystemTiming timing = backend->run(options);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     add_system_metrics(result, timing);
@@ -112,31 +133,30 @@ Scenario hpl_scenario() {
   s.description =
       "HPL right-looking LU trailing-update GEMM sequence (FP64, "
       "cooperative)";
-  s.params = timing_params();
-  s.params.push_back({"n", "16384", "LU problem size"});
-  s.params.push_back({"nb", "256", "panel width"});
+  s.schema = timing_schema("fp64", /*default_cooperative=*/true,
+                           {"analytic"});
+  s.schema.u64("n", 16384, "LU problem size", 1, 1048576);
+  s.schema.u64("nb", 256, "panel width", 1, 65535);
   s.run = [](const ScenarioRequest& request) {
-    const std::uint64_t n = request.param_u64("n", 16384);
-    const std::uint64_t nb = request.param_u64("nb", 256);
-    return run_workload_layers(request, wl::hpl_workload(n, nb),
-                               /*default_cooperative=*/true);
+    return run_workload_layers(
+        request,
+        wl::hpl_workload(request.params.u64("n"), request.params.u64("nb")));
   };
   return s;
 }
 
 Scenario dnn_scenario(std::string name, std::string description,
+                      const char* default_precision,
                       std::function<wl::Workload(const ScenarioRequest&)>
-                          make_workload,
-                      std::vector<ParamSpec> extra_params) {
+                          make_workload) {
   Scenario s;
   s.name = std::move(name);
   s.description = std::move(description);
-  s.params = timing_params();
-  for (ParamSpec& spec : extra_params) s.params.push_back(std::move(spec));
+  s.schema = timing_schema(default_precision, /*default_cooperative=*/true,
+                           {"analytic"});
   s.run = [make_workload = std::move(make_workload)](
               const ScenarioRequest& request) {
-    return run_workload_layers(request, make_workload(request),
-                               /*default_cooperative=*/true);
+    return run_workload_layers(request, make_workload(request));
   };
   return s;
 }
@@ -145,24 +165,34 @@ wl::Workload named_workload(const ScenarioRequest& request,
                             const std::string& name) {
   if (name == "resnet50") {
     return wl::resnet50(
-        static_cast<unsigned>(request.param_u64("batch", 8)));
+        static_cast<unsigned>(request.params.u64("batch")));
   }
   if (name == "bert") {
     return wl::bert_base(
-        static_cast<unsigned>(request.param_u64("batch", 8)),
-        static_cast<unsigned>(request.param_u64("seq_len", 384)));
+        static_cast<unsigned>(request.params.u64("batch")),
+        static_cast<unsigned>(request.params.u64("seq_len")));
   }
   if (name == "gpt3") {
-    return wl::gpt3(static_cast<unsigned>(request.param_u64("batch", 1)),
-                    static_cast<unsigned>(request.param_u64("seq_len", 2048)));
+    return wl::gpt3(static_cast<unsigned>(request.params.u64("batch")),
+                    static_cast<unsigned>(request.params.u64("seq_len")));
   }
   if (name == "gemm") {
-    return wl::square_gemm(request.param_u64("size", 4096),
-                           request.param_precision("precision",
-                                                   sa::Precision::kFp32));
+    return wl::square_gemm(request.params.u64("size"),
+                           precision_from(request.params.str("precision")));
   }
-  throw std::invalid_argument("unknown workload '" + name +
-                              "' (want resnet50|bert|gpt3|gemm)");
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+// "MACO" -> "maco", "CPU-only" -> "cpu_only": stable metric-name suffixes.
+std::string metric_key(const std::string& system) {
+  std::string key = system;
+  std::transform(key.begin(), key.end(), key.begin(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(
+                     std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  });
+  return key;
 }
 
 Scenario baselines_scenario() {
@@ -171,34 +201,26 @@ Scenario baselines_scenario() {
   s.description =
       "Fig. 8 five-system comparison (CPU-only, no-mapping, RASA-like, "
       "Gemmini-like, MACO) on one workload";
-  s.params = {
-      {"workload", "bert", "resnet50|bert|gpt3|gemm"},
-      {"size", "4096", "matrix size (workload=gemm)"},
-      {"batch", "8", "batch size (DNN workloads)"},
-      {"seq_len", "384", "sequence length (bert/gpt3)"},
-      {"precision", "fp32", "workload=gemm precision"},
-      {"nodes", "16", "MACO node count (others are single-node)"},
-  };
+  s.schema.enumerant("workload", "bert",
+                     {"resnet50", "bert", "gpt3", "gemm"},
+                     "compared workload");
+  s.schema.u64("size", 4096, "matrix size (workload=gemm)", 1, 1048576);
+  s.schema.u64("batch", 8, "batch size (DNN workloads)", 1, 4096);
+  s.schema.u64("seq_len", 384, "sequence length (bert/gpt3)", 1, 65536);
+  s.schema.enumerant("precision", "fp32", precision_choices(),
+                     "workload=gemm precision");
+  declare_nodes(s.schema, "MACO node count (others are single-node)");
   s.run = [](const ScenarioRequest& request) {
-    const unsigned nodes = static_cast<unsigned>(std::min<std::uint64_t>(
-        request.param_u64("nodes", 16), request.config.node_count));
-    const baseline::Comparator comparator(request.config, nodes);
+    const baseline::Comparator comparator(request.config,
+                                          active_nodes_from(request));
     const wl::Workload workload =
-        named_workload(request, request.param_str("workload", "bert"));
+        named_workload(request, request.params.str("workload"));
     ScenarioResult result;
     double maco_gflops = 0.0;
     double best_rival = 0.0;
     for (const baseline::ComparisonResult& run :
          comparator.run_all(workload)) {
-      // Stable metric names: "gflops_maco", "gflops_gemmini", ...
-      std::string key = run.system;
-      std::transform(key.begin(), key.end(), key.begin(), [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c))
-                   ? static_cast<char>(
-                         std::tolower(static_cast<unsigned char>(c)))
-                   : '_';
-      });
-      result.add("gflops_" + key, run.gflops);
+      result.add("gflops_" + metric_key(run.system), run.gflops, "GFLOP/s");
       if (run.system == "MACO") {
         maco_gflops = run.gflops;
       } else {
@@ -206,7 +228,7 @@ Scenario baselines_scenario() {
       }
     }
     result.add("speedup_vs_best_rival",
-               best_rival > 0.0 ? maco_gflops / best_rival : 0.0);
+               best_rival > 0.0 ? maco_gflops / best_rival : 0.0, "x");
     return result;
   };
   return s;
@@ -218,28 +240,29 @@ Scenario fig6_scenario() {
   s.description =
       "Fig. 6: efficiency with vs without predictive address translation "
       "(single node, FP64)";
-  s.params = {
-      {"size", "4096", "square matrix dimension"},
-      {"page_bytes", "4096", "translation page size"},
-  };
+  s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
+  s.schema.u64("page_bytes", 4096, "translation page size", 256, 1048576);
+  s.schema.enumerant("fidelity", "analytic", {"analytic"},
+                     "execution backend");
   s.run = [](const ScenarioRequest& request) {
-    const core::SystemTimingModel model(request.config);
-    const std::uint64_t size = request.param_u64("size", 4096);
+    const auto backend = request.backend();
+    const std::uint64_t size = request.params.u64("size");
     core::TimingOptions options;
     options.shape = sa::TileShape{size, size, size};
     options.precision = sa::Precision::kFp64;
     options.active_nodes = 1;
-    options.page_bytes = request.param_u64("page_bytes", 4096);
+    options.page_bytes = request.params.u64("page_bytes");
     options.use_matlb = true;
-    const core::SystemTiming with = model.run(options);
+    const core::SystemTiming with = backend->run(options);
     options.use_matlb = false;
-    const core::SystemTiming without = model.run(options);
+    const core::SystemTiming without = backend->run(options);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     result.add("efficiency_with", with.mean_efficiency);
     result.add("efficiency_without", without.mean_efficiency);
     result.add("gap", with.mean_efficiency - without.mean_efficiency);
-    result.add("walks_per_tile", with.translation.walks_per_tile);
+    result.add("walks_per_tile", with.translation.walks_per_tile, "",
+               /*higher_is_better=*/false);
     return result;
   };
   return s;
@@ -251,20 +274,19 @@ Scenario fig7_scenario() {
   s.description =
       "Fig. 7: per-node efficiency vs active node count (independent FP64 "
       "GEMM per node)";
-  s.params = {
-      {"size", "4096", "square matrix dimension"},
-      {"nodes", "16", "active compute nodes"},
-  };
+  s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
+  declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
+  s.schema.enumerant("fidelity", "analytic", {"analytic", "detailed"},
+                     "execution backend");
   s.run = [](const ScenarioRequest& request) {
-    const core::SystemTimingModel model(request.config);
-    const std::uint64_t size = request.param_u64("size", 4096);
+    const auto backend = request.backend();
+    const std::uint64_t size = request.params.u64("size");
     core::TimingOptions options;
     options.shape = sa::TileShape{size, size, size};
     options.precision = sa::Precision::kFp64;
     options.cooperative = false;
-    options.active_nodes = static_cast<unsigned>(std::min<std::uint64_t>(
-        request.param_u64("nodes", 16), request.config.node_count));
-    const core::SystemTiming timing = model.run(options);
+    options.active_nodes = active_nodes_from(request);
+    const core::SystemTiming timing = backend->run(options);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     result.add("nodes", options.active_nodes);
@@ -280,11 +302,10 @@ Scenario fig8_scenario() {
   s.description =
       "Fig. 8: five-system geomean over ResNet-50 + BERT + GPT-3 (FP32, 256 "
       "PEs)";
-  s.params = {{"nodes", "16", "MACO node count"}};
+  declare_nodes(s.schema, "MACO node count");
   s.run = [](const ScenarioRequest& request) {
-    const unsigned nodes = static_cast<unsigned>(std::min<std::uint64_t>(
-        request.param_u64("nodes", 16), request.config.node_count));
-    const baseline::Comparator comparator(request.config, nodes);
+    const baseline::Comparator comparator(request.config,
+                                          active_nodes_from(request));
     const std::vector<wl::Workload> workloads = {
         wl::resnet50(8), wl::bert_base(8, 384), wl::gpt3(1, 2048)};
     // system name -> product of per-workload gflops (for the geomean).
@@ -304,19 +325,12 @@ Scenario fig8_scenario() {
     for (auto& [system, product] : products) {
       const double geomean =
           std::pow(product, 1.0 / static_cast<double>(workloads.size()));
-      std::string key = system;
-      std::transform(key.begin(), key.end(), key.begin(), [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c))
-                   ? static_cast<char>(
-                         std::tolower(static_cast<unsigned char>(c)))
-                   : '_';
-      });
-      result.add("geomean_gflops_" + key, geomean);
+      result.add("geomean_gflops_" + metric_key(system), geomean, "GFLOP/s");
       if (system == "MACO") maco = geomean;
       if (baseline1 == 0.0) baseline1 = geomean;  // first system in order
     }
     result.add("maco_vs_baseline1",
-               baseline1 > 0.0 ? maco / baseline1 : 0.0);
+               baseline1 > 0.0 ? maco / baseline1 : 0.0, "x");
     return result;
   };
   return s;
@@ -327,13 +341,13 @@ Scenario ablation_scenario() {
   s.name = "ablation_features";
   s.description =
       "mATLB / stash+lock 2x2 feature grid on a paper-scale FP64 GEMM";
-  s.params = {
-      {"size", "4096", "square matrix dimension"},
-      {"nodes", "16", "active compute nodes"},
-  };
+  s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
+  declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
+  s.schema.enumerant("fidelity", "analytic", {"analytic"},
+                     "execution backend");
   s.run = [](const ScenarioRequest& request) {
-    const core::SystemTimingModel model(request.config);
-    const std::uint64_t size = request.param_u64("size", 4096);
+    const auto backend = request.backend();
+    const std::uint64_t size = request.params.u64("size");
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     for (const bool matlb : {true, false}) {
@@ -341,11 +355,10 @@ Scenario ablation_scenario() {
         core::TimingOptions options;
         options.shape = sa::TileShape{size, size, size};
         options.precision = sa::Precision::kFp64;
-        options.active_nodes = static_cast<unsigned>(std::min<std::uint64_t>(
-            request.param_u64("nodes", 16), request.config.node_count));
+        options.active_nodes = active_nodes_from(request);
         options.use_matlb = matlb;
         options.use_stash_lock = stash;
-        const core::SystemTiming timing = model.run(options);
+        const core::SystemTiming timing = backend->run(options);
         const std::string key = std::string("eff_matlb") +
                                 (matlb ? "1" : "0") + "_stash" +
                                 (stash ? "1" : "0");
@@ -368,17 +381,22 @@ Scenario area_power_scenario() {
     const model::UnitSummary cpu = m.cpu_summary();
     const model::UnitSummary mmae = m.mmae_summary();
     ScenarioResult result;
-    result.add("cpu_area_mm2", cpu.area_mm2);
-    result.add("cpu_power_w", cpu.power_watts);
-    result.add("cpu_peak_gflops_fp64", cpu.peak_gflops_fp64);
-    result.add("mmae_area_mm2", mmae.area_mm2);
-    result.add("mmae_power_w", mmae.power_watts);
-    result.add("mmae_peak_gflops_fp64", mmae.peak_gflops_fp64);
-    result.add("relative_area", mmae.area_mm2 / cpu.area_mm2);
+    result.add("cpu_area_mm2", cpu.area_mm2, "mm2",
+               /*higher_is_better=*/false);
+    result.add("cpu_power_w", cpu.power_watts, "W",
+               /*higher_is_better=*/false);
+    result.add("cpu_peak_gflops_fp64", cpu.peak_gflops_fp64, "GFLOP/s");
+    result.add("mmae_area_mm2", mmae.area_mm2, "mm2",
+               /*higher_is_better=*/false);
+    result.add("mmae_power_w", mmae.power_watts, "W",
+               /*higher_is_better=*/false);
+    result.add("mmae_peak_gflops_fp64", mmae.peak_gflops_fp64, "GFLOP/s");
+    result.add("relative_area", mmae.area_mm2 / cpu.area_mm2, "x",
+               /*higher_is_better=*/false);
     result.add("area_efficiency_ratio",
-               mmae.area_efficiency() / cpu.area_efficiency());
+               mmae.area_efficiency() / cpu.area_efficiency(), "x");
     result.add("power_efficiency_ratio",
-               mmae.power_efficiency() / cpu.power_efficiency());
+               mmae.power_efficiency() / cpu.power_efficiency(), "x");
     return result;
   };
   return s;
@@ -390,26 +408,32 @@ Scenario sparsity_scenario() {
   s.description =
       "extension study: structured N:M weight sparsity on the systolic "
       "array (tile-level timing)";
-  s.params = {
-      {"m", "64", "tile rows"},
-      {"n", "64", "tile cols"},
-      {"k", "256", "reduction depth"},
-      {"kept", "2", "nonzeros kept per group"},
-      {"group", "4", "sparsity group size"},
-  };
+  s.schema.u64("m", 64, "tile rows", 1, 65536);
+  s.schema.u64("n", 64, "tile cols", 1, 65536);
+  s.schema.u64("k", 256, "reduction depth", 1, 1048576);
+  s.schema.u64("kept", 2, "nonzeros kept per group", 1, 64);
+  s.schema.u64("group", 4, "sparsity group size", 1, 64);
   s.run = [](const ScenarioRequest& request) {
-    const sa::TileShape shape{request.param_u64("m", 64),
-                              request.param_u64("n", 64),
-                              request.param_u64("k", 256)};
+    const sa::TileShape shape{request.params.u64("m"),
+                              request.params.u64("n"),
+                              request.params.u64("k")};
     sa::SparseSaConfig config;
-    config.kept = static_cast<unsigned>(request.param_u64("kept", 2));
-    config.group = static_cast<unsigned>(request.param_u64("group", 4));
+    config.kept = static_cast<unsigned>(request.params.u64("kept"));
+    config.group = static_cast<unsigned>(request.params.u64("group"));
+    if (config.kept > config.group) {
+      throw std::invalid_argument(
+          "parameter 'kept': must not exceed 'group' (" +
+          std::to_string(config.kept) + " > " +
+          std::to_string(config.group) + ")");
+    }
     const sa::SparseSaTiming timing =
         sa::compute_sparse_sa_timing(shape, config);
     ScenarioResult result;
-    result.add("dense_cycles", static_cast<double>(timing.dense_cycles));
-    result.add("sparse_cycles", static_cast<double>(timing.sparse_cycles));
-    result.add("speedup", timing.speedup);
+    result.add("dense_cycles", static_cast<double>(timing.dense_cycles),
+               "cycles", /*higher_is_better=*/false);
+    result.add("sparse_cycles", static_cast<double>(timing.sparse_cycles),
+               "cycles", /*higher_is_better=*/false);
+    result.add("speedup", timing.speedup, "x");
     result.add("k_compressed", static_cast<double>(timing.k_compressed));
     return result;
   };
@@ -426,19 +450,21 @@ Scenario tables_scenario() {
     const core::SystemConfig& config = request.config;
     ScenarioResult result;
     result.add("node_count", config.node_count);
-    result.add("cpu_ghz", config.cpu.frequency_hz / 1e9);
+    result.add("cpu_ghz", config.cpu.frequency_hz / 1e9, "GHz");
     result.add("cpu_issue_width", config.cpu.issue_width);
     result.add("mtq_entries", config.cpu.mtq_entries);
-    result.add("mmae_ghz", config.mmae.frequency_hz / 1e9);
+    result.add("mmae_ghz", config.mmae.frequency_hz / 1e9, "GHz");
     result.add("sa_rows", config.mmae.sa.rows);
     result.add("sa_cols", config.mmae.sa.cols);
     result.add("matlb_entries",
                static_cast<double>(config.mmae.matlb_entries));
     result.add("l3_mib",
-               static_cast<double>(config.l3_total_bytes()) / (1 << 20));
+               static_cast<double>(config.l3_total_bytes()) / (1 << 20),
+               "MiB");
     result.add("peak_gflops_fp64",
                config.node_count *
-                   config.mmae_peak_flops(sa::Precision::kFp64) / 1e9);
+                   config.mmae_peak_flops(sa::Precision::kFp64) / 1e9,
+               "GFLOP/s");
     return result;
   };
   return s;
@@ -451,18 +477,17 @@ Scenario micro_components_scenario() {
       "substrate micro-bench: timing-model evaluations per second (wall "
       "clock; always runs serially)";
   s.serial = true;
-  s.params = {
-      {"size", "2048", "square GEMM evaluated per iteration"},
-      {"iterations", "20", "model evaluations to time"},
-  };
+  s.schema.u64("size", 2048, "square GEMM evaluated per iteration", 1,
+               1048576);
+  s.schema.u64("iterations", 20, "model evaluations to time", 1, 100000);
   s.run = [](const ScenarioRequest& request) {
     const core::SystemTimingModel model(request.config);
     core::TimingOptions options;
-    const std::uint64_t size = request.param_u64("size", 2048);
+    const std::uint64_t size = request.params.u64("size");
     options.shape = sa::TileShape{size, size, size};
     options.precision = sa::Precision::kFp64;
     options.active_nodes = request.config.node_count;
-    const std::uint64_t iterations = request.param_u64("iterations", 20);
+    const std::uint64_t iterations = request.params.u64("iterations");
     double checksum = 0.0;
     const auto start = std::chrono::steady_clock::now();
     for (std::uint64_t i = 0; i < iterations; ++i) {
@@ -474,7 +499,8 @@ Scenario micro_components_scenario() {
     ScenarioResult result;
     result.add("evals_per_second",
                seconds > 0.0 ? static_cast<double>(iterations) / seconds
-                             : 0.0);
+                             : 0.0,
+               "1/s");
     result.add("mean_efficiency",
                checksum / static_cast<double>(iterations));
     return result;
@@ -484,74 +510,13 @@ Scenario micro_components_scenario() {
 
 }  // namespace
 
-std::uint64_t ScenarioRequest::param_u64(const std::string& key,
-                                         std::uint64_t fallback) const {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
-  std::uint64_t value = 0;
-  const char* begin = it->second.data();
-  const char* end = begin + it->second.size();
-  const auto [ptr, ec] = std::from_chars(begin, end, value);
-  if (ec != std::errc{} || ptr != end) {
-    bad_param(key, it->second, "an unsigned integer");
-  }
-  return value;
+exp::Fidelity ScenarioRequest::fidelity() const {
+  if (!params.has("fidelity")) return exp::Fidelity::kAnalytic;
+  return exp::parse_fidelity(params.str("fidelity"));
 }
 
-double ScenarioRequest::param_double(const std::string& key,
-                                     double fallback) const {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(it->second, &consumed);
-    if (consumed != it->second.size()) {
-      bad_param(key, it->second, "a number");
-    }
-    return value;
-  } catch (const std::invalid_argument&) {
-    bad_param(key, it->second, "a number");
-  } catch (const std::out_of_range&) {
-    bad_param(key, it->second, "a representable number");
-  }
-}
-
-bool ScenarioRequest::param_bool(const std::string& key,
-                                 bool fallback) const {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
-  const std::string& value = it->second;
-  if (value == "1" || value == "true" || value == "on" || value == "yes") {
-    return true;
-  }
-  if (value == "0" || value == "false" || value == "off" || value == "no") {
-    return false;
-  }
-  bad_param(key, value, "a boolean (true/false/1/0/on/off)");
-}
-
-std::string ScenarioRequest::param_str(const std::string& key,
-                                       std::string fallback) const {
-  const auto it = params.find(key);
-  return it == params.end() ? fallback : it->second;
-}
-
-sa::Precision ScenarioRequest::param_precision(const std::string& key,
-                                               sa::Precision fallback) const {
-  const auto it = params.find(key);
-  if (it == params.end()) return fallback;
-  const std::string& value = it->second;
-  if (value == "fp64") return sa::Precision::kFp64;
-  if (value == "fp32") return sa::Precision::kFp32;
-  if (value == "fp16") return sa::Precision::kFp16;
-  bad_param(key, value, "fp64|fp32|fp16");
-}
-
-bool Scenario::has_param(std::string_view key) const noexcept {
-  for (const ParamSpec& spec : params) {
-    if (spec.name == key) return true;
-  }
-  return false;
+std::unique_ptr<exp::ExecutionBackend> ScenarioRequest::backend() const {
+  return exp::make_backend(fidelity(), config);
 }
 
 bool ScenarioRegistry::add(Scenario scenario) {
@@ -578,31 +543,40 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   ScenarioRegistry registry;
   registry.add(gemm_scenario());
   registry.add(hpl_scenario());
-  registry.add(dnn_scenario(
-      "resnet50", "ResNet-50 inference GEMM sequence (FP32)",
-      [](const ScenarioRequest& request) {
-        return wl::resnet50(
-            static_cast<unsigned>(request.param_u64("batch", 8)));
-      },
-      {{"batch", "8", "inference batch size"}}));
-  registry.add(dnn_scenario(
-      "bert", "BERT-Base encoder stack (FP32)",
-      [](const ScenarioRequest& request) {
-        return wl::bert_base(
-            static_cast<unsigned>(request.param_u64("batch", 8)),
-            static_cast<unsigned>(request.param_u64("seq_len", 384)));
-      },
-      {{"batch", "8", "inference batch size"},
-       {"seq_len", "384", "sequence length"}}));
-  registry.add(dnn_scenario(
-      "gpt3", "GPT-3 175B decoder forward pass (FP32)",
-      [](const ScenarioRequest& request) {
-        return wl::gpt3(
-            static_cast<unsigned>(request.param_u64("batch", 1)),
-            static_cast<unsigned>(request.param_u64("seq_len", 2048)));
-      },
-      {{"batch", "1", "batch size"},
-       {"seq_len", "2048", "tokens per forward pass"}}));
+  {
+    Scenario resnet = dnn_scenario(
+        "resnet50", "ResNet-50 inference GEMM sequence (FP32)", "fp32",
+        [](const ScenarioRequest& request) {
+          return wl::resnet50(
+              static_cast<unsigned>(request.params.u64("batch")));
+        });
+    resnet.schema.u64("batch", 8, "inference batch size", 1, 4096);
+    registry.add(std::move(resnet));
+  }
+  {
+    Scenario bert = dnn_scenario(
+        "bert", "BERT-Base encoder stack (FP32)", "fp32",
+        [](const ScenarioRequest& request) {
+          return wl::bert_base(
+              static_cast<unsigned>(request.params.u64("batch")),
+              static_cast<unsigned>(request.params.u64("seq_len")));
+        });
+    bert.schema.u64("batch", 8, "inference batch size", 1, 4096);
+    bert.schema.u64("seq_len", 384, "sequence length", 1, 65536);
+    registry.add(std::move(bert));
+  }
+  {
+    Scenario gpt3 = dnn_scenario(
+        "gpt3", "GPT-3 175B decoder forward pass (FP32)", "fp32",
+        [](const ScenarioRequest& request) {
+          return wl::gpt3(
+              static_cast<unsigned>(request.params.u64("batch")),
+              static_cast<unsigned>(request.params.u64("seq_len")));
+        });
+    gpt3.schema.u64("batch", 1, "batch size", 1, 4096);
+    gpt3.schema.u64("seq_len", 2048, "tokens per forward pass", 1, 65536);
+    registry.add(std::move(gpt3));
+  }
   registry.add(baselines_scenario());
   registry.add(fig6_scenario());
   registry.add(fig7_scenario());
@@ -613,81 +587,6 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   registry.add(tables_scenario());
   registry.add(micro_components_scenario());
   return registry;
-}
-
-const std::vector<std::string>& config_param_names() {
-  static const std::vector<std::string> names = {
-      "node_count",   "mesh_width",      "mesh_height",
-      "sa_rows",      "sa_cols",         "dram_channels",
-      "dram_efficiency", "ccm_count",    "matlb_entries",
-      "inner_k",
-  };
-  return names;
-}
-
-std::vector<std::string> apply_config_params(
-    std::map<std::string, std::string>& params, core::SystemConfig& config) {
-  std::vector<std::string> consumed;
-  const auto take_u64 = [&](const char* key, auto apply) {
-    const auto it = params.find(key);
-    if (it == params.end()) return;
-    std::uint64_t value = 0;
-    const char* begin = it->second.data();
-    const char* end = begin + it->second.size();
-    const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{} || ptr != end || value == 0) {
-      bad_param(key, it->second, "a positive integer");
-    }
-    apply(value);
-    consumed.push_back(key);
-    params.erase(it);
-  };
-
-  take_u64("node_count", [&](std::uint64_t v) {
-    config.node_count = static_cast<unsigned>(v);
-  });
-  take_u64("mesh_width", [&](std::uint64_t v) {
-    config.mesh.width = static_cast<unsigned>(v);
-  });
-  take_u64("mesh_height", [&](std::uint64_t v) {
-    config.mesh.height = static_cast<unsigned>(v);
-  });
-  take_u64("sa_rows", [&](std::uint64_t v) {
-    config.mmae.sa.rows = static_cast<unsigned>(v);
-  });
-  take_u64("sa_cols", [&](std::uint64_t v) {
-    config.mmae.sa.cols = static_cast<unsigned>(v);
-  });
-  take_u64("dram_channels", [&](std::uint64_t v) {
-    config.dram_channels = static_cast<unsigned>(v);
-  });
-  take_u64("ccm_count", [&](std::uint64_t v) {
-    config.ccm_count = static_cast<unsigned>(v);
-  });
-  take_u64("matlb_entries", [&](std::uint64_t v) {
-    config.mmae.matlb_entries = static_cast<std::size_t>(v);
-  });
-  take_u64("inner_k", [&](std::uint64_t v) {
-    config.mmae.inner_k = static_cast<unsigned>(v);
-  });
-
-  const auto efficiency = params.find("dram_efficiency");
-  if (efficiency != params.end()) {
-    try {
-      std::size_t consumed_chars = 0;
-      const double value = std::stod(efficiency->second, &consumed_chars);
-      if (consumed_chars != efficiency->second.size() || value <= 0.0 ||
-          value > 1.0) {
-        bad_param("dram_efficiency", efficiency->second, "a value in (0,1]");
-      }
-      config.dram_efficiency = value;
-    } catch (const std::logic_error&) {
-      bad_param("dram_efficiency", efficiency->second, "a value in (0,1]");
-    }
-    consumed.push_back("dram_efficiency");
-    params.erase(efficiency);
-  }
-  return consumed;
 }
 
 }  // namespace maco::driver

@@ -3,61 +3,53 @@
 // A scenario is one named, parameterized experiment: every workload
 // (src/workloads/), baseline comparison (src/baselines/) and paper
 // figure/table bench (bench/) is registered here so one CLI can run and
-// sweep all of them. A scenario takes a fully-built SystemConfig plus its
-// own parameters and returns a flat list of named metrics — one result row.
+// sweep all of them. Each scenario declares a typed exp::ParamSchema (the
+// single parser for its knobs) and consumes a fully-validated
+// exp::ParamSet; scenarios that execute the MACO machine do so through an
+// exp::ExecutionBackend selected by the `fidelity` parameter, so the same
+// experiment can run against the analytic timing model or the detailed
+// flit-level system.
 #pragma once
 
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/config.hpp"
+#include "exp/backend.hpp"
+#include "exp/param_schema.hpp"
+#include "exp/results.hpp"
 
 namespace maco::driver {
 
-// Parameters of one run: scenario knobs only (hardware knobs have already
-// been folded into `config` by apply_config_params).
+using exp::ScenarioResult;
+
+// One fully-validated run: the hardware config (knobs already applied) and
+// the scenario's typed parameters (defaults filled by the schema).
 struct ScenarioRequest {
   core::SystemConfig config = core::SystemConfig::maco_default();
-  std::map<std::string, std::string> params;
+  exp::ParamSet params;
 
-  // Typed accessors; throw std::invalid_argument on malformed values.
-  std::uint64_t param_u64(const std::string& key, std::uint64_t fallback)
-      const;
-  double param_double(const std::string& key, double fallback) const;
-  bool param_bool(const std::string& key, bool fallback) const;
-  std::string param_str(const std::string& key, std::string fallback) const;
-  sa::Precision param_precision(const std::string& key,
-                                sa::Precision fallback) const;
-};
-
-// One result row: ordered metric name/value pairs.
-struct ScenarioResult {
-  std::vector<std::pair<std::string, double>> metrics;
-
-  void add(std::string name, double value) {
-    metrics.emplace_back(std::move(name), value);
-  }
-};
-
-struct ParamSpec {
-  std::string name;
-  std::string default_value;
-  std::string description;
+  // The `fidelity` parameter when the scenario declares one (analytic
+  // otherwise), and the matching execution backend over `config`.
+  exp::Fidelity fidelity() const;
+  std::unique_ptr<exp::ExecutionBackend> backend() const;
 };
 
 struct Scenario {
   std::string name;
   std::string description;
-  std::vector<ParamSpec> params;
+  exp::ParamSchema schema;
   std::function<ScenarioResult(const ScenarioRequest&)> run;
   // A serial scenario never runs on more than one sweep worker at a time
   // (e.g. wall-clock micro-benches, whose numbers concurrency would skew).
   bool serial = false;
 
-  bool has_param(std::string_view key) const noexcept;
+  bool has_param(std::string_view key) const noexcept {
+    return schema.has(key);
+  }
 };
 
 class ScenarioRegistry {
@@ -79,15 +71,5 @@ class ScenarioRegistry {
  private:
   std::vector<Scenario> scenarios_;
 };
-
-// Hardware knobs: folds recognized keys (node_count, mesh_width,
-// mesh_height, sa_rows, sa_cols, dram_channels, dram_efficiency, ccm_count,
-// matlb_entries, inner_k) into `config` and erases them from `params`.
-// Returns the list of keys it consumed.
-std::vector<std::string> apply_config_params(
-    std::map<std::string, std::string>& params, core::SystemConfig& config);
-
-// The config-knob names apply_config_params recognizes.
-const std::vector<std::string>& config_param_names();
 
 }  // namespace maco::driver

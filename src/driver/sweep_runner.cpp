@@ -3,54 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdio>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "driver/hardware_knobs.hpp"
+#include "exp/results.hpp"
 #include "util/table.hpp"
 
 namespace maco::driver {
 namespace {
-
-// Formats metric values compactly: integers without a decimal point,
-// everything else at 10 significant digits — plenty for plotting and
-// comparison without 17-digit binary-representation noise.
-std::string format_value(double value) {
-  if (std::isfinite(value) && value == std::floor(value) &&
-      std::abs(value) < 1e15) {
-    std::ostringstream out;
-    out << static_cast<long long>(value);
-    return out.str();
-  }
-  std::ostringstream out;
-  out.precision(10);
-  out << value;
-  return out.str();
-}
-
-std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      case '\t': escaped += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          escaped += buf;
-        } else {
-          escaped += c;
-        }
-    }
-  }
-  return escaped;
-}
 
 // The parameter set of Cartesian point `index` (row-major over the axes).
 std::map<std::string, std::string> point_params(
@@ -94,27 +56,32 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
                                 "' (known: " + known + ")");
   }
 
-  // Validate every key up front: a key must be a scenario parameter or a
-  // hardware config knob. Doing this before any run keeps a 4-hour sweep
-  // from dying on a typo in its last axis.
-  const auto validate_key = [&](const std::string& key) {
-    if (scenario->has_param(key)) return;
-    const std::vector<std::string>& config_keys = config_param_names();
-    if (std::find(config_keys.begin(), config_keys.end(), key) !=
-        config_keys.end()) {
+  // Validate every key and every value up front against the scenario's
+  // schema (scenario knobs) or the hardware schema (config knobs). Doing
+  // this before any run keeps a 4-hour sweep from dying on a typo or an
+  // out-of-range value in its last axis.
+  const auto validate = [&](const std::string& key,
+                            const std::string& value) {
+    if (scenario->schema.has(key)) {
+      scenario->schema.parse(key, value);
+      return;
+    }
+    if (hardware_schema().has(key)) {
+      hardware_schema().parse(key, value);
       return;
     }
     throw std::invalid_argument("scenario '" + scenario->name +
                                 "' has no parameter '" + key +
-                                "' (see --list-scenarios)");
+                                "' and it is not a hardware knob (see "
+                                "--list-scenarios)");
   };
-  for (const auto& [key, value] : request.base_params) validate_key(key);
+  for (const auto& [key, value] : request.base_params) validate(key, value);
   for (const SweepAxis& axis : request.axes) {
-    validate_key(axis.key);
     if (axis.values.empty()) {
       throw std::invalid_argument("sweep axis '" + axis.key +
                                   "' has no values");
     }
+    for (const std::string& value : axis.values) validate(axis.key, value);
   }
 
   SweepResults results;
@@ -144,9 +111,16 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
       row.index = index;
       row.params = point_params(request, index);
       try {
+        std::map<std::string, std::string> scenario_raw;
+        std::map<std::string, std::string> hardware_raw;
+        for (const auto& [key, value] : row.params) {
+          (scenario->schema.has(key) ? scenario_raw
+                                     : hardware_raw)[key] = value;
+        }
         ScenarioRequest run;
-        run.params = row.params;
-        apply_config_params(run.params, run.config);
+        apply_hardware_params(hardware_schema().bind(hardware_raw),
+                              run.config);
+        run.params = scenario->schema.bind(scenario_raw);
         row.result = scenario->run(run);
       } catch (const std::exception& error) {
         row.error = error.what();
@@ -177,16 +151,20 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
   // echoing a swept `size`) is dropped — the parameter column already
   // carries the value.
   for (const SweepRow& row : results.rows) {
-    for (const auto& [name, value] : row.result.metrics) {
+    for (const exp::Metric& metric : row.result.metrics) {
       if (std::find(results.param_columns.begin(),
                     results.param_columns.end(),
-                    name) != results.param_columns.end()) {
+                    metric.name) != results.param_columns.end()) {
         continue;
       }
-      if (std::find(results.metric_columns.begin(),
-                    results.metric_columns.end(),
-                    name) == results.metric_columns.end()) {
-        results.metric_columns.push_back(name);
+      const bool seen = std::any_of(
+          results.metric_columns.begin(), results.metric_columns.end(),
+          [&](const MetricColumn& column) {
+            return column.name == metric.name;
+          });
+      if (!seen) {
+        results.metric_columns.push_back(
+            MetricColumn{metric.name, metric.unit, metric.higher_is_better});
       }
     }
   }
@@ -200,9 +178,9 @@ void write_csv(std::ostream& out, const SweepResults& results) {
     util::write_csv_cell(out, column);
     first = false;
   }
-  for (const std::string& column : results.metric_columns) {
+  for (const MetricColumn& column : results.metric_columns) {
     if (!first) out << ',';
-    util::write_csv_cell(out, column);
+    util::write_csv_cell(out, column.name);
     first = false;
   }
   if (!first) out << ',';
@@ -217,13 +195,10 @@ void write_csv(std::ostream& out, const SweepResults& results) {
           out, it == row.params.end() ? std::string() : it->second);
       first = false;
     }
-    for (const std::string& column : results.metric_columns) {
+    for (const MetricColumn& column : results.metric_columns) {
       if (!first) out << ',';
-      for (const auto& [name, value] : row.result.metrics) {
-        if (name == column) {
-          util::write_csv_cell(out, format_value(value));
-          break;
-        }
+      if (const exp::Metric* metric = row.result.find(column.name)) {
+        util::write_csv_cell(out, exp::format_metric_value(metric->value));
       }
       first = false;
     }
@@ -234,27 +209,37 @@ void write_csv(std::ostream& out, const SweepResults& results) {
 }
 
 void write_json(std::ostream& out, const SweepResults& results) {
-  out << "{\"scenario\":\"" << json_escape(results.scenario)
-      << "\",\"rows\":[";
+  out << "{\"scenario\":\"" << exp::json_escape(results.scenario)
+      << "\",\"columns\":[";
+  bool first = true;
+  for (const MetricColumn& column : results.metric_columns) {
+    if (!first) out << ',';
+    out << "{\"name\":\"" << exp::json_escape(column.name)
+        << "\",\"unit\":\"" << exp::json_escape(column.unit)
+        << "\",\"higher_is_better\":"
+        << (column.higher_is_better ? "true" : "false") << '}';
+    first = false;
+  }
+  out << "],\"rows\":[";
   bool first_row = true;
   for (const SweepRow& row : results.rows) {
     if (!first_row) out << ',';
     first_row = false;
     out << "{\"params\":{";
-    bool first = true;
+    first = true;
     for (const auto& [key, value] : row.params) {
       if (!first) out << ',';
-      out << '"' << json_escape(key) << "\":\"" << json_escape(value)
-          << '"';
+      out << '"' << exp::json_escape(key) << "\":\""
+          << exp::json_escape(value) << '"';
       first = false;
     }
     out << "},\"metrics\":{";
     first = true;
-    for (const auto& [name, value] : row.result.metrics) {
+    for (const exp::Metric& metric : row.result.metrics) {
       if (!first) out << ',';
-      out << '"' << json_escape(name) << "\":";
-      if (std::isfinite(value)) {
-        out << format_value(value);
+      out << '"' << exp::json_escape(metric.name) << "\":";
+      if (std::isfinite(metric.value)) {
+        out << exp::format_metric_value(metric.value);
       } else {
         out << "null";
       }
@@ -262,7 +247,7 @@ void write_json(std::ostream& out, const SweepResults& results) {
     }
     out << '}';
     if (!row.ok()) {
-      out << ",\"error\":\"" << json_escape(row.error) << '"';
+      out << ",\"error\":\"" << exp::json_escape(row.error) << '"';
     }
     out << '}';
   }

@@ -1,10 +1,12 @@
 // Cartesian sweep execution for the `macosim` driver.
 //
 // A sweep request names one scenario, a set of fixed parameters and any
-// number of sweep axes; the runner expands the Cartesian product, validates
-// every key against the scenario's parameter list plus the hardware config
-// knobs, runs the points on a std::thread worker pool (one SystemConfig per
-// run — no shared mutable state), and serializes the rows as CSV or JSON.
+// number of sweep axes; the runner validates every key AND value against
+// the scenario's typed ParamSchema plus the hardware-knob schema (typed
+// diagnostics before any run), expands the Cartesian product, runs the
+// points on a std::thread worker pool (one SystemConfig per run — no shared
+// mutable state), and serializes the typed metric rows as CSV or JSON
+// through exp::results' single formatting path.
 #pragma once
 
 #include <iosfwd>
@@ -35,17 +37,25 @@ struct SweepRow {
   bool ok() const noexcept { return error.empty(); }
 };
 
+// One output column of metric values, carrying the metric's metadata.
+struct MetricColumn {
+  std::string name;
+  std::string unit;
+  bool higher_is_better = true;
+};
+
 struct SweepResults {
   std::string scenario;
-  std::vector<std::string> param_columns;   // axis keys then --set keys
-  std::vector<std::string> metric_columns;  // union over rows, first-seen
-  std::vector<SweepRow> rows;               // Cartesian order
+  std::vector<std::string> param_columns;    // axis keys then --set keys
+  std::vector<MetricColumn> metric_columns;  // union over rows, first-seen
+  std::vector<SweepRow> rows;                // Cartesian order
 
   std::size_t failures() const noexcept;
 };
 
-// Validates the request (unknown scenario or parameter keys => throws
-// std::invalid_argument before anything runs) and executes all points.
+// Validates the request (unknown scenario, unknown parameter keys or
+// malformed/out-of-range values => throws std::invalid_argument before
+// anything runs) and executes all points.
 SweepResults run_sweep(const ScenarioRegistry& registry,
                        const SweepRequest& request);
 
@@ -53,7 +63,8 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
 std::size_t sweep_point_count(const std::vector<SweepAxis>& axes);
 
 // Serialization. CSV: header of param+metric columns, one line per row.
-// JSON: {"scenario": ..., "rows": [{params, metrics, error?}, ...]}.
+// JSON: {"scenario", "columns" (metric metadata: unit, direction),
+// "rows": [{params, metrics, error?}, ...]}.
 void write_csv(std::ostream& out, const SweepResults& results);
 void write_json(std::ostream& out, const SweepResults& results);
 

@@ -1,0 +1,45 @@
+// Pluggable fidelity backends for the experiment API.
+//
+// An ExecutionBackend turns TimingOptions into SystemTiming at a chosen
+// fidelity: `analytic` evaluates core::SystemTimingModel (closed forms +
+// contention models, paper-scale in microseconds), `detailed` executes the
+// GEMM end to end on core::MacoSystem with the flit-level mesh and real
+// data (small shapes only). Scenarios declare which fidelities they support
+// in their ParamSchema; the sweep runner selects the backend per point from
+// the `fidelity` parameter.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+
+namespace maco::exp {
+
+enum class Fidelity { kAnalytic, kDetailed };
+
+std::string_view fidelity_name(Fidelity fidelity) noexcept;
+// Throws std::invalid_argument on an unknown spelling.
+Fidelity parse_fidelity(std::string_view name);
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual Fidelity fidelity() const noexcept = 0;
+
+  // One GEMM (options.shape) under the scenario's execution options.
+  virtual core::SystemTiming run(const core::TimingOptions& options) = 0;
+
+  // A layer sequence (a DNN / HPL trailing updates) back to back.
+  virtual core::SystemTiming run_layers(
+      const std::vector<sa::TileShape>& layers,
+      const core::TimingOptions& options) = 0;
+};
+
+std::unique_ptr<ExecutionBackend> make_backend(
+    Fidelity fidelity, const core::SystemConfig& config);
+
+}  // namespace maco::exp

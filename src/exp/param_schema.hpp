@@ -1,0 +1,115 @@
+// Declarative parameter schemas for the experiment API.
+//
+// A ParamSchema is the single description of what a scenario (or the
+// hardware-knob namespace) accepts: per parameter a name, a type, a default,
+// an optional numeric range or enum choice list, and a description. The CLI
+// grammar, --list-scenarios, the sweep runner's up-front validation and the
+// scenario bodies all consume the same schema, so user text is parsed and
+// range-checked exactly once — ParamSchema::bind turns a raw key=value map
+// into a fully-typed, fully-defaulted ParamSet or throws a typed diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/param_value.hpp"
+
+namespace maco::exp {
+
+struct ParamDecl {
+  std::string name;
+  ParamType type = ParamType::kString;
+  ParamValue default_value;
+  std::string description;
+
+  // Inclusive numeric range; the full-type range means "unbounded" and is
+  // omitted from help text.
+  std::uint64_t min_u64 = 0;
+  std::uint64_t max_u64 = std::numeric_limits<std::uint64_t>::max();
+  double min_f64 = std::numeric_limits<double>::lowest();
+  double max_f64 = std::numeric_limits<double>::max();
+
+  std::vector<std::string> choices;  // kEnum: the legal spellings
+
+  bool bounded() const noexcept;
+  // "[1,16]" for bounded numerics, "fp64|fp32|fp16" for enums, "" otherwise.
+  std::string range_text() const;
+};
+
+// The typed parameters of one run: every declared parameter is present
+// (explicit or default). Accessors throw std::logic_error on an undeclared
+// name or a type mismatch — both scenario-code bugs, since values only enter
+// through the schema.
+class ParamSet {
+ public:
+  std::uint64_t u64(std::string_view name) const;
+  double f64(std::string_view name) const;
+  bool flag(std::string_view name) const;
+  const std::string& str(std::string_view name) const;  // enum or string
+
+  const ParamValue& value(std::string_view name) const;
+  bool has(std::string_view name) const noexcept;
+  // True when the user supplied `name` explicitly (vs the schema default).
+  bool was_set(std::string_view name) const noexcept;
+
+  const std::map<std::string, ParamValue>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  friend class ParamSchema;
+  std::map<std::string, ParamValue> values_;
+  std::set<std::string> explicit_;
+};
+
+class ParamSchema {
+ public:
+  // Builder-style declaration helpers (return *this for chaining).
+  ParamSchema& u64(std::string name, std::uint64_t default_value,
+                   std::string description,
+                   std::uint64_t min = 0,
+                   std::uint64_t max =
+                       std::numeric_limits<std::uint64_t>::max());
+  ParamSchema& f64(std::string name, double default_value,
+                   std::string description,
+                   double min = std::numeric_limits<double>::lowest(),
+                   double max = std::numeric_limits<double>::max());
+  ParamSchema& flag(std::string name, bool default_value,
+                    std::string description);
+  ParamSchema& enumerant(std::string name, std::string default_value,
+                         std::vector<std::string> choices,
+                         std::string description);
+  ParamSchema& str(std::string name, std::string default_value,
+                   std::string description);
+
+  // Appends every declaration of `other` (duplicate names throw).
+  ParamSchema& merge(const ParamSchema& other);
+
+  const std::vector<ParamDecl>& decls() const noexcept { return decls_; }
+  const ParamDecl* find(std::string_view name) const noexcept;
+  bool has(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  // Parses one user-supplied value against its declaration. Throws
+  // std::invalid_argument with a typed diagnostic on an unknown name, a
+  // malformed value, an out-of-range number or an unknown enum choice.
+  ParamValue parse(std::string_view name, const std::string& text) const;
+
+  // Validates the whole raw map and fills defaults for absent parameters.
+  ParamSet bind(const std::map<std::string, std::string>& raw) const;
+
+  // The all-defaults ParamSet (bind of an empty map).
+  ParamSet defaults() const;
+
+ private:
+  ParamSchema& add(ParamDecl decl);
+  std::vector<ParamDecl> decls_;
+};
+
+}  // namespace maco::exp

@@ -1,0 +1,91 @@
+#include "exp/param_value.hpp"
+
+#include <stdexcept>
+
+#include "exp/results.hpp"
+
+namespace maco::exp {
+namespace {
+
+[[noreturn]] void type_mismatch(ParamType actual, const char* wanted) {
+  throw std::logic_error(std::string("ParamValue type mismatch: holds ") +
+                         param_type_name(actual) + ", accessed as " + wanted);
+}
+
+}  // namespace
+
+const char* param_type_name(ParamType type) noexcept {
+  switch (type) {
+    case ParamType::kU64: return "u64";
+    case ParamType::kF64: return "f64";
+    case ParamType::kBool: return "bool";
+    case ParamType::kEnum: return "enum";
+    case ParamType::kString: return "string";
+  }
+  return "?";
+}
+
+ParamValue ParamValue::u64(std::uint64_t value) {
+  return ParamValue(ParamType::kU64, value);
+}
+
+ParamValue ParamValue::f64(double value) {
+  return ParamValue(ParamType::kF64, value);
+}
+
+ParamValue ParamValue::boolean(bool value) {
+  return ParamValue(ParamType::kBool, value);
+}
+
+ParamValue ParamValue::enumerant(std::string value) {
+  return ParamValue(ParamType::kEnum, std::move(value));
+}
+
+ParamValue ParamValue::str(std::string value) {
+  return ParamValue(ParamType::kString, std::move(value));
+}
+
+std::uint64_t ParamValue::as_u64() const {
+  if (type_ != ParamType::kU64) type_mismatch(type_, "u64");
+  return std::get<std::uint64_t>(value_);
+}
+
+double ParamValue::as_f64() const {
+  if (type_ == ParamType::kU64) {
+    return static_cast<double>(std::get<std::uint64_t>(value_));
+  }
+  if (type_ != ParamType::kF64) type_mismatch(type_, "f64");
+  return std::get<double>(value_);
+}
+
+bool ParamValue::as_bool() const {
+  if (type_ != ParamType::kBool) type_mismatch(type_, "bool");
+  return std::get<bool>(value_);
+}
+
+const std::string& ParamValue::as_str() const {
+  if (type_ != ParamType::kEnum && type_ != ParamType::kString) {
+    type_mismatch(type_, "enum/string");
+  }
+  return std::get<std::string>(value_);
+}
+
+std::string ParamValue::to_string() const {
+  switch (type_) {
+    case ParamType::kU64:
+      return std::to_string(std::get<std::uint64_t>(value_));
+    case ParamType::kF64:
+      // The canonical number format (integral doubles without a decimal
+      // point, 10 significant digits otherwise) — shared with the metric
+      // writers so parse(to_string()) round-trips and nothing drifts.
+      return format_metric_value(std::get<double>(value_));
+    case ParamType::kBool:
+      return std::get<bool>(value_) ? "true" : "false";
+    case ParamType::kEnum:
+    case ParamType::kString:
+      return std::get<std::string>(value_);
+  }
+  return {};
+}
+
+}  // namespace maco::exp

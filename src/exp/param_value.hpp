@@ -1,0 +1,54 @@
+// Typed parameter values for the experiment API.
+//
+// A ParamValue is one validated scenario or hardware parameter: an unsigned
+// integer, a double, a boolean, one member of a declared enum, or a free
+// string. Values are produced by ParamSchema::parse (never directly from
+// user text), so every consumer downstream of the schema works with typed
+// data and typed accessor errors are programmer errors, not user errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace maco::exp {
+
+enum class ParamType { kU64, kF64, kBool, kEnum, kString };
+
+const char* param_type_name(ParamType type) noexcept;
+
+class ParamValue {
+ public:
+  ParamValue() : type_(ParamType::kU64), value_(std::uint64_t{0}) {}
+
+  static ParamValue u64(std::uint64_t value);
+  static ParamValue f64(double value);
+  static ParamValue boolean(bool value);
+  static ParamValue enumerant(std::string value);
+  static ParamValue str(std::string value);
+
+  ParamType type() const noexcept { return type_; }
+
+  // Typed accessors; throw std::logic_error on a type mismatch (the schema
+  // guarantees well-typed values, so a mismatch is a scenario-code bug).
+  std::uint64_t as_u64() const;
+  double as_f64() const;  // also widens a kU64 value
+  bool as_bool() const;
+  const std::string& as_str() const;  // kEnum or kString
+
+  // Canonical text form (what the CSV/JSON writers and --list-scenarios
+  // print); parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  bool operator==(const ParamValue&) const = default;
+
+ private:
+  ParamValue(ParamType type, std::variant<std::uint64_t, double, bool,
+                                          std::string> value)
+      : type_(type), value_(std::move(value)) {}
+
+  ParamType type_;
+  std::variant<std::uint64_t, double, bool, std::string> value_;
+};
+
+}  // namespace maco::exp

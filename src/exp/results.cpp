@@ -1,0 +1,52 @@
+#include "exp/results.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace maco::exp {
+
+const Metric* ScenarioResult::find(std::string_view name) const noexcept {
+  for (const Metric& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+std::string format_metric_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          escaped += buf;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace maco::exp

@@ -1,0 +1,41 @@
+// Structured experiment results.
+//
+// A scenario emits Metric records — name, value, unit, direction — instead
+// of bare name/double pairs. The sweep runner's CSV and JSON writers, the
+// console table and the tests all consume metrics through the formatting
+// helpers here, so there is exactly one value-serialization path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace maco::exp {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;              // "" for dimensionless metrics
+  bool higher_is_better = true;  // direction for campaign-level comparisons
+};
+
+struct ScenarioResult {
+  std::vector<Metric> metrics;
+
+  void add(std::string name, double value, std::string unit = {},
+           bool higher_is_better = true) {
+    metrics.push_back(Metric{std::move(name), value, std::move(unit),
+                             higher_is_better});
+  }
+
+  // nullptr when no metric has that name.
+  const Metric* find(std::string_view name) const noexcept;
+};
+
+// Compact canonical number format shared by every writer: integers without
+// a decimal point, everything else at 10 significant digits.
+std::string format_metric_value(double value);
+
+// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace maco::exp

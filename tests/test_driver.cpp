@@ -1,10 +1,13 @@
-// The macosim driver: CLI parsing, scenario registry, sweep execution and
-// result serialization.
+// The macosim driver: CLI parsing, scenario registry, hardware knobs,
+// sweep execution and result serialization.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "driver/cli.hpp"
+#include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
 #include "driver/sweep_runner.hpp"
 
@@ -17,16 +20,17 @@ Scenario echo_scenario() {
   Scenario s;
   s.name = "echo";
   s.description = "test scenario";
-  s.params = {{"a", "1", ""}, {"b", "1", ""}, {"fail", "false", ""}};
+  s.schema.u64("a", 0, "first echoed knob", 0, 1000);
+  s.schema.u64("b", 0, "second echoed knob");
+  s.schema.flag("fail", false, "throw instead of producing metrics");
   s.run = [](const ScenarioRequest& request) {
-    if (request.param_bool("fail", false)) {
+    if (request.params.flag("fail")) {
       throw std::runtime_error("deliberate failure");
     }
     ScenarioResult result;
     result.add("a_times_10",
-               static_cast<double>(request.param_u64("a", 0) * 10));
-    result.add("b_plus_1",
-               static_cast<double>(request.param_u64("b", 0) + 1));
+               static_cast<double>(request.params.u64("a") * 10));
+    result.add("b_plus_1", static_cast<double>(request.params.u64("b") + 1));
     result.add("node_count", request.config.node_count);
     return result;
   };
@@ -107,21 +111,6 @@ TEST(Cli, RejectsSetSweepConflicts) {
             std::string::npos);
 }
 
-TEST(Sweep, SerialScenarioIgnoresThreadCount) {
-  ScenarioRegistry registry;
-  Scenario serial = echo_scenario();
-  serial.serial = true;
-  ASSERT_TRUE(registry.add(serial));
-  SweepRequest request;
-  request.scenario = "echo";
-  request.axes = {{"a", {"1", "2", "3"}}};
-  request.threads = 8;  // must still run (serially) and stay correct
-  const SweepResults results = run_sweep(registry, request);
-  ASSERT_EQ(results.rows.size(), 3u);
-  EXPECT_EQ(results.failures(), 0u);
-  EXPECT_DOUBLE_EQ(results.rows[2].result.metrics[0].second, 30.0);
-}
-
 TEST(Cli, RejectsBadThreadCount) {
   EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--threads", "0"}).ok);
   EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--threads", "many"}).ok);
@@ -141,6 +130,50 @@ TEST(Cli, ParseAxisSplitsValues) {
   EXPECT_EQ(axis.axis.values, (std::vector<std::string>{"1", "4", "16"}));
 }
 
+TEST(Cli, ParsesOutputAndFormat) {
+  const CliParse parse = parse_cli(
+      {"--scenario", "gemm", "--output", "out.json", "--format", "json"});
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.options.output_path, "out.json");
+  EXPECT_EQ(parse.options.output_format, "json");
+  // --format is optional: inferred from the extension, csv otherwise.
+  const CliParse csv = parse_cli({"--scenario", "gemm", "-o", "out.csv"});
+  ASSERT_TRUE(csv.ok) << csv.error;
+  EXPECT_EQ(csv.options.output_path, "out.csv");
+  EXPECT_EQ(csv.options.output_format, "csv");
+  const CliParse inferred =
+      parse_cli({"--scenario", "gemm", "--output", "out.json"});
+  ASSERT_TRUE(inferred.ok) << inferred.error;
+  EXPECT_EQ(inferred.options.output_format, "json");
+  const CliParse other = parse_cli({"--scenario", "gemm", "-o", "out.txt"});
+  ASSERT_TRUE(other.ok) << other.error;
+  EXPECT_EQ(other.options.output_format, "csv");
+}
+
+TEST(Cli, RejectsBadOutputCombinations) {
+  // Unknown format.
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--output", "x", "--format",
+                          "xml"})
+                   .ok);
+  // --format without --output.
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--format", "json"}).ok);
+  // Two destinations for the same format.
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--output", "a.csv",
+                          "--csv", "b.csv"})
+                   .ok);
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--output", "a.json",
+                          "--format", "json", "--json", "b.json"})
+                   .ok);
+  // The inferred .json format participates in the conflict check too.
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--output", "a.json",
+                          "--json", "b.json"})
+                   .ok);
+  // --output csv + --json is fine (different formats).
+  EXPECT_TRUE(parse_cli({"--scenario", "gemm", "--output", "a.csv",
+                         "--json", "b.json"})
+                  .ok);
+}
+
 // ---- scenario registry ----
 
 TEST(Registry, BuiltinCoversWorkloadsBaselinesAndBenches) {
@@ -151,6 +184,19 @@ TEST(Registry, BuiltinCoversWorkloadsBaselinesAndBenches) {
         "ablation_features", "area_power", "ext_sparsity", "tables",
         "micro_components"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, EveryScenarioDeclaresTypedDefaults) {
+  // The schema is the single source of parameter truth: every declared
+  // parameter carries a type and a default that parses against itself.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  for (const Scenario& scenario : registry.scenarios()) {
+    for (const exp::ParamDecl& decl : scenario.schema.decls()) {
+      EXPECT_NO_THROW(scenario.schema.parse(
+          decl.name, decl.default_value.to_string()))
+          << scenario.name << "." << decl.name;
+    }
   }
 }
 
@@ -167,48 +213,121 @@ TEST(Registry, AddRejectsDuplicateName) {
   EXPECT_EQ(registry.scenarios().size(), 1u);
 }
 
-TEST(Registry, ConfigParamsFoldIntoSystemConfig) {
-  std::map<std::string, std::string> params = {
-      {"node_count", "4"},  {"sa_rows", "8"},
-      {"sa_cols", "8"},     {"dram_efficiency", "0.5"},
-      {"size", "1024"},  // not a config knob: must survive
-  };
+TEST(Registry, GemmDeclaresBothFidelities) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const Scenario* gemm = registry.find("gemm");
+  ASSERT_NE(gemm, nullptr);
+  const exp::ParamDecl* fidelity = gemm->schema.find("fidelity");
+  ASSERT_NE(fidelity, nullptr);
+  EXPECT_EQ(fidelity->type, exp::ParamType::kEnum);
+  EXPECT_EQ(fidelity->choices,
+            (std::vector<std::string>{"analytic", "detailed"}));
+  // Analytic-only scenarios reject fidelity=detailed in their schema.
+  const Scenario* hpl = registry.find("hpl");
+  ASSERT_NE(hpl, nullptr);
+  EXPECT_THROW(hpl->schema.parse("fidelity", "detailed"),
+               std::invalid_argument);
+}
+
+// ---- hardware knobs ----
+
+TEST(HardwareKnobs, ExplicitKnobsFoldIntoSystemConfig) {
+  const exp::ParamSet params = hardware_schema().bind(
+      {{"node_count", "4"},
+       {"sa_rows", "8"},
+       {"sa_cols", "8"},
+       {"dram_efficiency", "0.5"},
+       {"l2_kib", "1024"},
+       {"l3_slice_kib", "4096"},
+       {"stlb_entries", "2048"},
+       {"dma_outstanding", "16"},
+       {"stq_entries", "4"}});
   core::SystemConfig config = core::SystemConfig::maco_default();
-  const std::vector<std::string> consumed =
-      apply_config_params(params, config);
-  EXPECT_EQ(consumed.size(), 4u);
+  apply_hardware_params(params, config);
   EXPECT_EQ(config.node_count, 4u);
   EXPECT_EQ(config.mmae.sa.rows, 8u);
   EXPECT_EQ(config.mmae.sa.cols, 8u);
   EXPECT_DOUBLE_EQ(config.dram_efficiency, 0.5);
-  ASSERT_EQ(params.size(), 1u);
-  EXPECT_EQ(params.count("size"), 1u);
+  EXPECT_EQ(config.cpu.l2.size_bytes, 1024u * 1024u);
+  EXPECT_EQ(config.ccm.l3.size_bytes, 4096u * 1024u);
+  EXPECT_EQ(config.cpu.mmu.l2_tlb_entries, 2048u);
+  EXPECT_EQ(config.mmae.dma.max_outstanding, 16u);
+  EXPECT_EQ(config.mmae.stq_entries, 4u);
+  // Knobs not explicitly set leave the caller's config untouched.
+  EXPECT_EQ(config.dram_channels, 4u);
+  EXPECT_EQ(config.mmae.matlb_entries, 256u);
 }
 
-TEST(Registry, ConfigParamsRejectMalformedValues) {
+TEST(HardwareKnobs, DefaultsMatchMacoDefaultConfig) {
+  // Schema defaults document the paper platform: what --list-scenarios
+  // prints as a default must be what SystemConfig::maco_default() builds.
+  const core::SystemConfig config = core::SystemConfig::maco_default();
+  const exp::ParamSchema& schema = hardware_schema();
+  const auto default_u64 = [&](const char* name) {
+    const exp::ParamDecl* decl = schema.find(name);
+    EXPECT_NE(decl, nullptr) << name;
+    return decl == nullptr ? 0u : decl->default_value.as_u64();
+  };
+  EXPECT_EQ(default_u64("node_count"), config.node_count);
+  EXPECT_EQ(default_u64("mesh_width"), config.mesh.width);
+  EXPECT_EQ(default_u64("mesh_height"), config.mesh.height);
+  EXPECT_EQ(default_u64("sa_rows"), config.mmae.sa.rows);
+  EXPECT_EQ(default_u64("sa_cols"), config.mmae.sa.cols);
+  EXPECT_EQ(default_u64("dram_channels"), config.dram_channels);
+  EXPECT_EQ(default_u64("ccm_count"), config.ccm_count);
+  EXPECT_EQ(default_u64("matlb_entries"), config.mmae.matlb_entries);
+  EXPECT_EQ(default_u64("inner_k"), config.mmae.inner_k);
+  EXPECT_EQ(default_u64("l2_kib") * 1024, config.cpu.l2.size_bytes);
+  EXPECT_EQ(default_u64("l3_slice_kib") * 1024, config.ccm.l3.size_bytes);
+  EXPECT_EQ(default_u64("stlb_entries"), config.cpu.mmu.l2_tlb_entries);
+  EXPECT_EQ(default_u64("dma_outstanding"),
+            config.mmae.dma.max_outstanding);
+  EXPECT_EQ(default_u64("stq_entries"), config.mmae.stq_entries);
+  EXPECT_DOUBLE_EQ(
+      schema.find("dram_efficiency")->default_value.as_f64(),
+      config.dram_efficiency);
+}
+
+TEST(HardwareKnobs, EnforcesMeshCapacityAcrossFields) {
   core::SystemConfig config = core::SystemConfig::maco_default();
-  std::map<std::string, std::string> bad_int = {{"node_count", "lots"}};
-  EXPECT_THROW(apply_config_params(bad_int, config), std::invalid_argument);
-  std::map<std::string, std::string> bad_eff = {{"dram_efficiency", "1.5"}};
-  EXPECT_THROW(apply_config_params(bad_eff, config), std::invalid_argument);
+  // 64 nodes do not fit the default 4x4 mesh...
+  EXPECT_THROW(
+      apply_hardware_params(hardware_schema().bind({{"node_count", "64"}}),
+                            config),
+      std::invalid_argument);
+  // ...but do once the mesh is widened, and both mesh models resize.
+  config = core::SystemConfig::maco_default();
+  apply_hardware_params(
+      hardware_schema().bind({{"node_count", "64"},
+                              {"mesh_width", "8"},
+                              {"mesh_height", "8"}}),
+      config);
+  EXPECT_EQ(config.node_count, 64u);
+  EXPECT_EQ(config.mesh.width, 8u);
+  EXPECT_EQ(config.link_load.width, 8u);
+  EXPECT_EQ(config.link_load.height, 8u);
+  // A mesh too small for the DDR controllers at nodes {0,3,12,15}.
+  config = core::SystemConfig::maco_default();
+  EXPECT_THROW(
+      apply_hardware_params(
+          hardware_schema().bind({{"node_count", "4"},
+                                  {"ccm_count", "4"},
+                                  {"mesh_width", "2"},
+                                  {"mesh_height", "2"}}),
+          config),
+      std::invalid_argument);
 }
 
-TEST(Registry, TypedParamAccessors) {
-  ScenarioRequest request;
-  request.params = {{"size", "4096"},
-                    {"eff", "0.75"},
-                    {"flag", "on"},
-                    {"precision", "fp16"},
-                    {"junk", "xyz"}};
-  EXPECT_EQ(request.param_u64("size", 0), 4096u);
-  EXPECT_EQ(request.param_u64("absent", 7), 7u);
-  EXPECT_DOUBLE_EQ(request.param_double("eff", 0.0), 0.75);
-  EXPECT_TRUE(request.param_bool("flag", false));
-  EXPECT_EQ(request.param_precision("precision", sa::Precision::kFp64),
-            sa::Precision::kFp16);
-  EXPECT_THROW(request.param_u64("junk", 0), std::invalid_argument);
-  EXPECT_THROW(request.param_bool("junk", false), std::invalid_argument);
-  EXPECT_THROW(request.param_precision("junk", sa::Precision::kFp64),
+TEST(HardwareKnobs, RejectsMalformedAndOutOfRangeValues) {
+  EXPECT_THROW(hardware_schema().parse("node_count", "lots"),
+               std::invalid_argument);
+  EXPECT_THROW(hardware_schema().parse("node_count", "0"),
+               std::invalid_argument);
+  EXPECT_THROW(hardware_schema().parse("dram_efficiency", "1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(hardware_schema().parse("dram_efficiency", "fast"),
+               std::invalid_argument);
+  EXPECT_THROW(hardware_schema().parse("no_such_knob", "1"),
                std::invalid_argument);
 }
 
@@ -232,8 +351,23 @@ TEST(Sweep, TwoByTwoProducesFourRowsInCartesianOrder) {
     EXPECT_EQ(results.rows[i].params.at("b"), expected[i][1]);
     ASSERT_EQ(results.rows[i].result.metrics.size(), 3u);
   }
-  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[0].second, 20.0);
-  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[0].value, 20.0);
+  EXPECT_DOUBLE_EQ(results.rows[3].result.metrics[1].value, 5.0);
+}
+
+TEST(Sweep, SerialScenarioIgnoresThreadCount) {
+  ScenarioRegistry registry;
+  Scenario serial = echo_scenario();
+  serial.serial = true;
+  ASSERT_TRUE(registry.add(serial));
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2", "3"}}};
+  request.threads = 8;  // must still run (serially) and stay correct
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 3u);
+  EXPECT_EQ(results.failures(), 0u);
+  EXPECT_DOUBLE_EQ(results.rows[2].result.metrics[0].value, 30.0);
 }
 
 TEST(Sweep, RejectsUnknownScenarioBeforeRunning) {
@@ -254,6 +388,23 @@ TEST(Sweep, RejectsUnknownParameterKeyBeforeRunning) {
   EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
 }
 
+TEST(Sweep, RejectsBadValuesBeforeRunning) {
+  // Typed validation runs over every axis value before any point executes:
+  // a malformed or out-of-range value anywhere fails the whole request.
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2", "banana"}}};
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+  request.axes = {{"a", {"1", "1001"}}};  // above the declared max of 1000
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+  request.axes = {{"fail", {"true", "maybe"}}};
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+  request.axes.clear();
+  request.base_params = {{"dram_efficiency", "2.0"}};  // hardware knob range
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+}
+
 TEST(Sweep, AcceptsConfigKnobsAsSweepAxes) {
   const ScenarioRegistry registry = echo_registry();
   SweepRequest request;
@@ -262,8 +413,8 @@ TEST(Sweep, AcceptsConfigKnobsAsSweepAxes) {
   const SweepResults results = run_sweep(registry, request);
   ASSERT_EQ(results.rows.size(), 2u);
   // The echo scenario reports the config it actually received.
-  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[2].second, 2.0);
-  EXPECT_DOUBLE_EQ(results.rows[1].result.metrics[2].second, 8.0);
+  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[2].value, 2.0);
+  EXPECT_DOUBLE_EQ(results.rows[1].result.metrics[2].value, 8.0);
 }
 
 TEST(Sweep, FailingRunIsIsolatedToItsRow) {
@@ -287,7 +438,7 @@ TEST(Sweep, NoAxesMeansOneRun) {
   request.base_params = {{"a", "5"}};
   const SweepResults results = run_sweep(registry, request);
   ASSERT_EQ(results.rows.size(), 1u);
-  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[0].second, 50.0);
+  EXPECT_DOUBLE_EQ(results.rows[0].result.metrics[0].value, 50.0);
 }
 
 TEST(Sweep, PointCount) {
@@ -313,7 +464,7 @@ TEST(Sweep, CsvHasHeaderAndOneLinePerRun) {
   EXPECT_NE(csv.find("\n2,4,20,5,16,\n"), std::string::npos);
 }
 
-TEST(Sweep, JsonSerializesParamsAndMetrics) {
+TEST(Sweep, JsonSerializesParamsMetricsAndColumnMetadata) {
   const ScenarioRegistry registry = echo_registry();
   SweepRequest request;
   request.scenario = "echo";
@@ -325,6 +476,36 @@ TEST(Sweep, JsonSerializesParamsAndMetrics) {
   EXPECT_NE(json.find("\"scenario\":\"echo\""), std::string::npos);
   EXPECT_NE(json.find("\"a\":\"2\""), std::string::npos);
   EXPECT_NE(json.find("\"a_times_10\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"columns\":[{\"name\":\"a_times_10\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"higher_is_better\":true"), std::string::npos);
+}
+
+TEST(Sweep, CsvRoundTripsThroughAFile) {
+  // --output's contract: what lands in the file is byte-identical to the
+  // in-memory serialization and survives a read-back.
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"a", {"1", "2"}}};
+  const SweepResults results = run_sweep(registry, request);
+
+  std::ostringstream expected;
+  write_csv(expected, results);
+
+  const std::string path =
+      ::testing::TempDir() + "/macosim_roundtrip_test.csv";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open());
+    write_csv(out, results);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(), expected.str());
+  std::remove(path.c_str());
 }
 
 // ---- end to end on a real scenario (small sizes keep this fast) ----
@@ -340,12 +521,57 @@ TEST(Sweep, GemmTwoByTwoOnBuiltinRegistry) {
   ASSERT_EQ(results.rows.size(), 4u);
   EXPECT_EQ(results.failures(), 0u);
   for (const SweepRow& row : results.rows) {
-    double gflops = 0.0;
-    for (const auto& [name, value] : row.result.metrics) {
-      if (name == "gflops") gflops = value;
-    }
-    EXPECT_GT(gflops, 0.0);
+    const exp::Metric* gflops = row.result.find("gflops");
+    ASSERT_NE(gflops, nullptr);
+    EXPECT_GT(gflops->value, 0.0);
+    EXPECT_EQ(gflops->unit, "GFLOP/s");
   }
+}
+
+TEST(Sweep, UnsetNodesFollowsNodeCount) {
+  // `nodes` left unset tracks the instantiated node_count, so a node_count
+  // sweep actually activates the extra nodes instead of sticking at the
+  // schema's paper-platform default.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "1024"}};
+  request.axes = {{"node_count", {"1", "16"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 2u);
+  ASSERT_EQ(results.failures(), 0u);
+  const exp::Metric* one = results.rows[0].result.find("gflops");
+  const exp::Metric* sixteen = results.rows[1].result.find("gflops");
+  ASSERT_NE(one, nullptr);
+  ASSERT_NE(sixteen, nullptr);
+  EXPECT_GT(sixteen->value, 2.0 * one->value);
+}
+
+TEST(Sweep, AnalyticOnlyScenarioRejectsDetailedFidelityUpFront) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "hpl";
+  request.base_params = {{"fidelity", "detailed"}};
+  EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+}
+
+TEST(Sweep, CacheGeometryKnobsAreSweepable) {
+  // The ROADMAP's "not yet sweepable" knobs: shrinking L3 slices must
+  // change analytic results (smaller stash working set => lower gflops on
+  // a DRAM-pressured shape), proving the knob reaches the timing model.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "2048"}, {"nodes", "16"}};
+  request.axes = {{"l3_slice_kib", {"64", "2048"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 2u);
+  ASSERT_EQ(results.failures(), 0u);
+  const exp::Metric* small = results.rows[0].result.find("gflops");
+  const exp::Metric* big = results.rows[1].result.find("gflops");
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(big, nullptr);
+  EXPECT_LT(small->value, big->value);
 }
 
 }  // namespace
