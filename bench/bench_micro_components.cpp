@@ -1,9 +1,15 @@
-// Micro-benchmarks of the simulator's component models (google-benchmark).
+// Micro-benchmarks of the simulator's component models.
 //
 // These are not paper figures; they quantify the substrate itself — how
 // fast each detailed model simulates — and catch performance regressions
-// that would make the paper-scale sweeps intractable.
+// that would make the paper-scale sweeps intractable. Built against
+// google-benchmark when available, the vendored minibench harness (same
+// API subset) otherwise.
+#ifdef MACO_HAVE_GOOGLE_BENCHMARK
 #include <benchmark/benchmark.h>
+#else
+#include "minibench.hpp"
+#endif
 
 #include "core/timing_model.hpp"
 #include "isa/assembler.hpp"

@@ -1,0 +1,172 @@
+// Minimal vendored timing harness, API-compatible with the subset of
+// google-benchmark that bench_micro_components.cpp uses (State iteration,
+// range args, DoNotOptimize, SetItemsProcessed, BENCHMARK/BENCHMARK_MAIN).
+// Built only when the real library is absent (see bench/CMakeLists.txt), so
+// the substrate perf gate runs everywhere. Numbers are comparable run to
+// run, not to google-benchmark's (no CPU-frequency pinning, simpler
+// adaptive iteration control).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  explicit State(std::vector<std::int64_t> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < ranges_.size() ? ranges_[index] : 0;
+  }
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+
+  std::int64_t iterations() const { return iterations_; }
+  std::int64_t items_processed() const { return items_processed_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  // `for (auto _ : state)` protocol: KeepRunning() counts an iteration and
+  // decides adaptively when the sample is long enough. The clock is read
+  // once per batch (batch size doubles), not per iteration, so timing
+  // overhead stays off the measured loop.
+  bool KeepRunning() {
+    if (iterations_ == 0) {
+      start_ = std::chrono::steady_clock::now();
+      batch_left_ = 1;
+      batch_size_ = 1;
+    }
+    if (batch_left_ == 0) {
+      elapsed_seconds_ = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+      if (elapsed_seconds_ >= kMinSeconds || iterations_ >= kMaxIterations) {
+        return false;
+      }
+      if (batch_size_ < kMaxBatch) batch_size_ *= 2;
+      batch_left_ = batch_size_;
+    }
+    --batch_left_;
+    ++iterations_;
+    return true;
+  }
+
+  // The yielded value has a user-provided destructor so `for (auto _ : ...)`
+  // does not trip -Wunused-but-set-variable under -Wall -Wextra.
+  struct IterationMark {
+    ~IterationMark() {}
+  };
+
+  struct Iterator {
+    State* state;
+    bool operator!=(const Iterator&) const { return state->KeepRunning(); }
+    Iterator& operator++() { return *this; }
+    IterationMark operator*() const { return IterationMark(); }
+  };
+  Iterator begin() { return Iterator{this}; }
+  Iterator end() { return Iterator{this}; }
+
+ private:
+  static constexpr double kMinSeconds = 0.05;
+  static constexpr std::int64_t kMaxIterations = 100000000;
+  static constexpr std::int64_t kMaxBatch = 8192;
+
+  std::vector<std::int64_t> ranges_;
+  std::int64_t iterations_ = 0;
+  std::int64_t items_processed_ = 0;
+  double elapsed_seconds_ = 0.0;
+  std::int64_t batch_left_ = 0;
+  std::int64_t batch_size_ = 1;
+  std::chrono::steady_clock::time_point start_;
+};
+
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const T* sink;
+  sink = &value;
+#endif
+}
+
+namespace internal {
+
+struct Benchmark {
+  std::string name;
+  void (*function)(State&);
+  std::vector<std::int64_t> args;  // one registered run per element
+
+  Benchmark* Arg(std::int64_t value) {
+    args.push_back(value);
+    return this;
+  }
+};
+
+inline std::vector<Benchmark>& registry() {
+  static std::vector<Benchmark> benchmarks;
+  return benchmarks;
+}
+
+// The returned pointer is only dereferenced by the same static
+// initializer's ->Arg() chain, which completes before the next BENCHMARK
+// registration can reallocate the registry.
+inline Benchmark* Register(const char* name, void (*function)(State&)) {
+  registry().push_back(Benchmark{name, function, {}});
+  return &registry().back();
+}
+
+inline int RunAll() {
+  std::printf("minibench (vendored fallback harness; install "
+              "google-benchmark for calibrated numbers)\n");
+  std::printf("%-32s %14s %14s %16s\n", "benchmark", "iterations",
+              "ns/iter", "items/s");
+  for (Benchmark& bench : registry()) {
+    std::vector<std::vector<std::int64_t>> runs;
+    if (bench.args.empty()) {
+      runs.push_back({});
+    } else {
+      for (const std::int64_t arg : bench.args) runs.push_back({arg});
+    }
+    for (const std::vector<std::int64_t>& ranges : runs) {
+      State state(ranges);
+      bench.function(state);
+      std::string label = bench.name;
+      if (!ranges.empty()) label += "/" + std::to_string(ranges[0]);
+      const double ns_per_iter =
+          state.iterations() > 0
+              ? state.elapsed_seconds() * 1e9 /
+                    static_cast<double>(state.iterations())
+              : 0.0;
+      char items_text[32] = "-";
+      if (state.items_processed() > 0 && state.elapsed_seconds() > 0.0) {
+        std::snprintf(items_text, sizeof items_text, "%.3g",
+                      static_cast<double>(state.items_processed()) /
+                          state.elapsed_seconds());
+      }
+      std::printf("%-32s %14lld %14.1f %16s\n", label.c_str(),
+                  static_cast<long long>(state.iterations()), ns_per_iter,
+                  items_text);
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT_IMPL(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT_IMPL(a, b)
+
+#define BENCHMARK(function)                                        \
+  static ::benchmark::internal::Benchmark* MINIBENCH_CONCAT(       \
+      minibench_registration_, __LINE__) =                         \
+      ::benchmark::internal::Register(#function, function)
+
+#define BENCHMARK_MAIN() \
+  int main() { return ::benchmark::internal::RunAll(); }

@@ -1,7 +1,9 @@
 #include "driver/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace maco::driver {
 namespace {
@@ -29,6 +31,15 @@ bool parse_unsigned(const std::string& text, unsigned& out) {
   return ec == std::errc{} && ptr == end;
 }
 
+// ".json" => "json"; "" when the path has no (or an empty) extension.
+std::string path_extension(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot + 1 == path.size()) return {};
+  if (slash != std::string::npos && dot < slash) return {};
+  return path.substr(dot + 1);
+}
+
 }  // namespace
 
 AxisParse parse_axis(const std::string& spec) {
@@ -54,7 +65,134 @@ AxisParse parse_axis(const std::string& spec) {
   return result;
 }
 
+namespace {
+
+// The `report` subcommand grammar: query, pivot and compare campaign
+// stores.
+CliParse parse_report_cli(const std::vector<std::string>& args) {
+  CliParse result;
+  CliOptions& options = result.options;
+  options.command = CliCommand::kReport;
+
+  const auto value_of = [&](std::size_t& i, std::string& out) {
+    if (i + 1 >= args.size()) {
+      result.error = "missing value after " + args[i];
+      return false;
+    }
+    out = args[++i];
+    return true;
+  };
+
+  bool tolerance_set = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      options.quiet = true;
+    } else if (arg == "--store") {
+      if (!value_of(i, value)) return result;
+      options.store_path = value;
+    } else if (arg == "--compare") {
+      if (!value_of(i, value)) return result;
+      options.compare_path = value;
+    } else if (arg == "--where") {
+      if (!value_of(i, value)) return result;
+      const auto eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        result.error =
+            "expected key=value after --where, got '" + value + "'";
+        return result;
+      }
+      options.where[value.substr(0, eq)] = value.substr(eq + 1);
+    } else if (arg == "--metric") {
+      if (!value_of(i, value)) return result;
+      options.metrics.push_back(value);
+    } else if (arg == "--ignore") {
+      if (!value_of(i, value)) return result;
+      options.ignore_keys.push_back(value);
+    } else if (arg == "--tolerance") {
+      if (!value_of(i, value)) return result;
+      try {
+        std::size_t consumed = 0;
+        options.tolerance = std::stod(value, &consumed);
+        // !(x >= 0) also rejects NaN, which would disable every
+        // regression comparison while exiting 0.
+        if (consumed != value.size() || !std::isfinite(options.tolerance) ||
+            !(options.tolerance >= 0.0)) {
+          throw std::invalid_argument(value);
+        }
+      } catch (const std::exception&) {
+        result.error = "--tolerance wants a finite non-negative fraction "
+                       "(e.g. 0.02), got '" + value + "'";
+        return result;
+      }
+      tolerance_set = true;
+    } else if (arg == "--output" || arg == "-o") {
+      if (!value_of(i, value)) return result;
+      options.output_path = value;
+    } else if (arg == "--format") {
+      if (!value_of(i, value)) return result;
+      if (value != "table" && value != "csv" && value != "json" &&
+          value != "md") {
+        result.error =
+            "report --format wants table, csv, json or md, got '" + value +
+            "'";
+        return result;
+      }
+      options.output_format = value;
+    } else {
+      result.error =
+          "unknown report argument '" + arg + "' (see macosim report "
+          "--help)";
+      return result;
+    }
+  }
+
+  if (options.show_help) {
+    result.ok = true;
+    return result;
+  }
+  if (options.store_path.empty()) {
+    result.error = "report needs --store FILE";
+    return result;
+  }
+  if (options.compare_path.empty()) {
+    if (tolerance_set) {
+      result.error = "--tolerance only applies with --compare";
+      return result;
+    }
+    if (!options.ignore_keys.empty()) {
+      result.error = "--ignore only applies with --compare";
+      return result;
+    }
+  }
+  if (options.output_format.empty()) {
+    if (options.output_path.empty() || options.output_path == "-") {
+      options.output_format = "table";
+    } else {
+      const std::string ext = path_extension(options.output_path);
+      if (ext == "csv" || ext == "json" || ext == "md") {
+        options.output_format = ext;
+      } else {
+        result.error = "cannot infer --format for --output '" +
+                       options.output_path +
+                       "': unknown extension (expected .csv, .json or "
+                       ".md, or pass --format)";
+        return result;
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
 CliParse parse_cli(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "report") return parse_report_cli(args);
+
   CliParse result;
   CliOptions& options = result.options;
 
@@ -129,6 +267,9 @@ CliParse parse_cli(const std::vector<std::string>& args) {
                        "'";
         return result;
       }
+    } else if (arg == "--store") {
+      if (!value_of(i, value)) return result;
+      options.store_path = value;
     } else if (arg == "--csv") {
       if (!value_of(i, value)) return result;
       options.csv_path = value;
@@ -161,12 +302,22 @@ CliParse parse_cli(const std::vector<std::string>& args) {
     return result;
   }
   if (!options.output_path.empty() && options.output_format.empty()) {
-    // No explicit --format: infer from the extension so `--output x.json`
-    // cannot silently fill a .json file with CSV.
-    const std::string& path = options.output_path;
-    options.output_format =
-        path.size() >= 5 && path.rfind(".json") == path.size() - 5 ? "json"
-                                                                   : "csv";
+    // No explicit --format: infer from the extension. An extension that
+    // names neither format is rejected instead of silently producing CSV
+    // in a file whose name promises something else. "-" (stdout) keeps
+    // its historical CSV default.
+    const std::string ext = path_extension(options.output_path);
+    if (ext == "json") {
+      options.output_format = "json";
+    } else if (ext == "csv" || options.output_path == "-") {
+      options.output_format = "csv";
+    } else {
+      result.error = "cannot infer --format for --output '" +
+                     options.output_path +
+                     "': unknown extension (expected .csv or .json, or "
+                     "pass --format csv|json)";
+      return result;
+    }
   }
   if (!options.output_path.empty()) {
     const bool json = options.output_format == "json";
@@ -189,6 +340,7 @@ std::string usage() {
          "\n"
          "usage: macosim --scenario NAME [options]\n"
          "       macosim --list-scenarios\n"
+         "       macosim report --store FILE [report options]\n"
          "\n"
          "options:\n"
          "  --scenario NAME        scenario to run (see --list-scenarios)\n"
@@ -196,16 +348,34 @@ std::string usage() {
          "  --sweep KEY=V1,V2,...  sweep one axis (repeatable; axes combine\n"
          "                         as a Cartesian product)\n"
          "  --threads N            worker threads for the sweep (default 1)\n"
+         "  --store FILE           campaign store: record every point and\n"
+         "                         skip points already recorded (resume)\n"
          "  --output FILE          write results to FILE (see --format)\n"
-         "  --format csv|json      format for --output (default: json for\n"
-         "                         a .json FILE, csv otherwise)\n"
+         "  --format csv|json      format for --output (inferred from a\n"
+         "                         .csv/.json extension; other extensions\n"
+         "                         need an explicit --format)\n"
          "  --csv FILE             write results CSV (default\n"
          "                         macosim_results.csv; '-' for stdout)\n"
          "  --json FILE            also write results as JSON\n"
          "  --quiet                suppress the progress/result table\n"
          "  --list-scenarios       list scenarios with their typed\n"
-         "                         parameters (type, default, range)\n"
+         "                         parameters (type, default, range) and\n"
+         "                         cross-field constraints\n"
          "  --help                 this text\n"
+         "\n"
+         "report options (query/compare a campaign store):\n"
+         "  --store FILE           the store to read (required)\n"
+         "  --where KEY=VALUE      keep matching points only (repeatable;\n"
+         "                         'scenario' matches the scenario name)\n"
+         "  --metric NAME          restrict metric columns (repeatable)\n"
+         "  --compare FILE         diff against another store: per-metric\n"
+         "                         deltas, direction-aware regressions\n"
+         "  --tolerance FRACTION   relative regression tolerance for\n"
+         "                         --compare (default 0.02)\n"
+         "  --ignore KEY           drop KEY when matching points across\n"
+         "                         stores (repeatable; for A/B knobs)\n"
+         "  --format FMT           table (default), csv, json or md\n"
+         "  --output FILE          write the report to FILE\n"
          "\n"
          "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
          "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"
@@ -215,9 +385,15 @@ std::string usage() {
          "fidelity=analytic|detailed to choose between the analytic timing\n"
          "model and the detailed flit-level MacoSystem.\n"
          "\n"
-         "example:\n"
+         "examples:\n"
          "  macosim --scenario gemm --sweep nodes=1,4,16 \\\n"
-         "          --sweep size=1024,4096 --threads 4 --output sweep.csv\n";
+         "          --sweep size=1024,4096 --threads 4 --output sweep.csv\n"
+         "  macosim --scenario gemm --sweep size=1024,2048,4096 \\\n"
+         "          --store campaign.mdb     # killed? rerun: only the\n"
+         "                                   # missing points execute\n"
+         "  macosim report --store campaign.mdb --where nodes=16\n"
+         "  macosim report --store new.mdb --compare baseline.mdb \\\n"
+         "          --tolerance 0.05         # exit 3 on regressions\n";
   return out.str();
 }
 

@@ -7,6 +7,9 @@
 //   macosim --scenario gemm --set fidelity=detailed --set size=512
 //   macosim --scenario gemm --sweep nodes=1,4,16 --sweep size=1024,4096
 //           --threads 4 --output sweep.json --format json
+//   macosim --scenario gemm --sweep size=1024,4096 --store campaign.mdb
+//   macosim report --store campaign.mdb --where nodes=16
+//   macosim report --store new.mdb --compare baseline.mdb --tolerance 0.05
 //
 // Parsing is pure (no I/O, no exit()) so tests can drive it directly.
 #pragma once
@@ -24,7 +27,13 @@ struct SweepAxis {
   std::vector<std::string> values;
 };
 
+enum class CliCommand {
+  kSweep,   // the default: run/sweep one scenario
+  kReport,  // query/compare a campaign store
+};
+
 struct CliOptions {
+  CliCommand command = CliCommand::kSweep;
   bool show_help = false;
   bool list_scenarios = false;
   bool quiet = false;
@@ -33,9 +42,17 @@ struct CliOptions {
   std::vector<SweepAxis> sweeps;              // --sweep axes (Cartesian)
   unsigned threads = 1;
   std::string output_path;    // --output FILE (format from --format)
-  std::string output_format;  // "csv" (default) or "json"
+  std::string output_format;  // sweep: "csv"/"json"; report: +"md"/"table"
   std::string csv_path;       // --csv: empty => default; "-" => stdout
   std::string json_path;      // --json: empty => no JSON output
+  std::string store_path;     // --store: campaign database (both commands)
+
+  // `report` only:
+  std::string compare_path;                   // --compare OTHER_STORE
+  std::map<std::string, std::string> where;   // --where key=value filters
+  std::vector<std::string> metrics;           // --metric NAME columns
+  std::vector<std::string> ignore_keys;       // --ignore KEY (matching)
+  double tolerance = 0.02;                    // --tolerance FRACTION
 };
 
 struct CliParse {

@@ -34,6 +34,20 @@ const exp::ParamSchema& hardware_schema() {
           "DMA bursts in flight before issue stalls", 1, 256);
     s.u64("stq_entries", d.mmae.stq_entries,
           "slave task queue depth per MMAE", 1, 256);
+    // Mesh capacity rules, declared so --list-scenarios surfaces them and
+    // bind() rejects a violating point before any run; the deeper DDR
+    // placement check (which needs the resulting SystemConfig) stays in
+    // apply_hardware_params.
+    s.constrain("node_count <= mesh_width*mesh_height",
+                [](const exp::ParamSet& p) {
+                  return p.u64("node_count") <=
+                         p.u64("mesh_width") * p.u64("mesh_height");
+                });
+    s.constrain("ccm_count <= mesh_width*mesh_height",
+                [](const exp::ParamSet& p) {
+                  return p.u64("ccm_count") <=
+                         p.u64("mesh_width") * p.u64("mesh_height");
+                });
     return s;
   }();
   return schema;
@@ -137,6 +151,10 @@ void print_hardware_knob_table(std::ostream& out, const std::string& title) {
         .cell(decl.description);
   }
   table.print(out, title);
+  for (const exp::ParamConstraint& constraint :
+       hardware_schema().constraints()) {
+    out << "  constraint: " << constraint.rule << "\n";
+  }
 }
 
 }  // namespace maco::driver

@@ -5,14 +5,19 @@
 // backed by typed schemas. See driver/cli.hpp for the grammar,
 // driver/scenario_registry.cpp for the scenario catalogue and
 // driver/hardware_knobs.cpp for the sweepable hardware parameters.
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "driver/cli.hpp"
 #include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
 #include "driver/sweep_runner.hpp"
+#include "store/campaign_store.hpp"
+#include "store/query.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -43,6 +48,12 @@ void list_scenarios(const driver::ScenarioRegistry& registry) {
     for (const exp::ParamDecl& decl : scenario.schema.decls()) {
       if (!first) params << "  ";
       params << describe_param(decl);
+      first = false;
+    }
+    for (const exp::ParamConstraint& constraint :
+         scenario.schema.constraints()) {
+      if (!first) params << "  ";
+      params << "[" << constraint.rule << "]";
       first = false;
     }
     t.row().cell(scenario.name).cell(params.str()).cell(
@@ -92,6 +103,24 @@ void print_results(const driver::SweepResults& results) {
   }
 }
 
+// Opens `path` for writing, creating missing parent directories so
+// `--output results/today/sweep.csv` works on a fresh tree.
+bool open_output(const std::string& path, std::ofstream& out) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    // A failure surfaces as the open failure below.
+  }
+  out.open(path);
+  if (!out) {
+    std::cerr << "macosim: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
 bool write_to(const std::string& path, bool quiet,
               const driver::SweepResults& results,
               void (*writer)(std::ostream&, const driver::SweepResults&)) {
@@ -99,17 +128,95 @@ bool write_to(const std::string& path, bool quiet,
     writer(std::cout, results);
     return true;
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "macosim: cannot write " << path << "\n";
-    return false;
-  }
+  std::ofstream out;
+  if (!open_output(path, out)) return false;
   writer(out, results);
   if (!quiet) {
     std::cout << "wrote " << results.rows.size() << " row(s) to " << path
               << "\n";
   }
   return true;
+}
+
+store::ReportFormat report_format(const std::string& name) {
+  if (name == "csv") return store::ReportFormat::kCsv;
+  if (name == "json") return store::ReportFormat::kJson;
+  if (name == "md") return store::ReportFormat::kMarkdown;
+  return store::ReportFormat::kTable;
+}
+
+// The `report` subcommand: query one store, optionally diff it against
+// another. Exit codes: 0 clean, 2 usage/IO error, 3 regressions found.
+int run_report(const driver::CliOptions& options) {
+  std::unique_ptr<store::CampaignStore> current;
+  std::unique_ptr<store::CampaignStore> baseline;
+  try {
+    current = std::make_unique<store::CampaignStore>(
+        options.store_path, store::CampaignStore::Mode::kReadOnly);
+    if (!options.compare_path.empty()) {
+      baseline = std::make_unique<store::CampaignStore>(
+          options.compare_path, store::CampaignStore::Mode::kReadOnly);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
+    return 2;
+  }
+  for (const store::CampaignStore* db : {current.get(), baseline.get()}) {
+    if (db != nullptr && db->recovered_dropped_bytes() > 0 &&
+        !options.quiet) {
+      std::cerr << "macosim: warning: '" << db->path() << "' has a torn "
+                << "tail (" << db->recovered_dropped_bytes()
+                << " byte(s) ignored)\n";
+    }
+  }
+
+  const std::vector<const store::CampaignRecord*> selected =
+      store::select(current->records(), options.where);
+
+  std::ofstream file;
+  const bool to_file =
+      !options.output_path.empty() && options.output_path != "-";
+  if (to_file && !open_output(options.output_path, file)) return 2;
+  std::ostream& out = to_file ? static_cast<std::ostream&>(file)
+                              : std::cout;
+  const store::ReportFormat format = report_format(options.output_format);
+
+  if (baseline == nullptr) {
+    const store::CampaignTable table =
+        store::build_table(selected, options.metrics);
+    store::write_table(out, table, format);
+    return 0;
+  }
+
+  store::CompareOptions compare;
+  compare.tolerance = options.tolerance;
+  compare.ignore = options.ignore_keys;
+  compare.metrics = options.metrics;
+  const std::vector<const store::CampaignRecord*> reference =
+      store::select(baseline->records(), options.where);
+  const store::CampaignComparison comparison =
+      store::compare_campaigns(selected, reference, compare);
+  store::write_comparison(out, comparison, format, compare);
+  // Zero matched points with data on both sides means the comparison
+  // proved nothing (a schema change shifted every fingerprint, or the
+  // campaigns are disjoint) — a regression gate keying on the exit code
+  // must not read that as "clean".
+  if (comparison.points.empty() && !selected.empty() &&
+      !reference.empty()) {
+    std::cerr << "macosim: no points matched between '"
+              << options.store_path << "' and '" << options.compare_path
+              << "' (schema change? disjoint campaigns? consider "
+                 "--ignore for A/B knobs)\n";
+    return 2;
+  }
+  if (comparison.regressions() > 0) {
+    if (!options.quiet) {
+      std::cerr << "macosim: " << comparison.regressions()
+                << " regression(s) beyond tolerance\n";
+    }
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -126,6 +233,9 @@ int main(int argc, char** argv) {
     std::cout << driver::usage();
     return 0;
   }
+  if (options.command == driver::CliCommand::kReport) {
+    return run_report(options);
+  }
 
   const driver::ScenarioRegistry registry =
       driver::ScenarioRegistry::builtin();
@@ -140,15 +250,37 @@ int main(int argc, char** argv) {
   request.axes = options.sweeps;
   request.threads = options.threads;
 
+  std::unique_ptr<store::CampaignStore> campaign;
+  if (!options.store_path.empty()) {
+    try {
+      campaign = std::make_unique<store::CampaignStore>(options.store_path);
+    } catch (const std::exception& error) {
+      std::cerr << "macosim: " << error.what() << "\n";
+      return 2;
+    }
+    if (campaign->recovered_dropped_bytes() > 0 && !options.quiet) {
+      std::cout << "store '" << options.store_path << "': recovered "
+                << campaign->size() << " point(s), truncated "
+                << campaign->recovered_dropped_bytes()
+                << " torn byte(s)\n";
+    }
+  }
+
   driver::SweepResults results;
   try {
-    results = driver::run_sweep(registry, request);
+    results = driver::run_sweep(registry, request, campaign.get());
   } catch (const std::exception& error) {
     std::cerr << "macosim: " << error.what() << "\n";
     return 2;
   }
 
   if (!options.quiet) print_results(results);
+  if (campaign != nullptr && !options.quiet) {
+    std::cout << "store '" << options.store_path << "': "
+              << results.cached() << " cached point(s) skipped, "
+              << results.rows.size() - results.cached()
+              << " new point(s) executed\n";
+  }
 
   // --output names one destination in the chosen --format; the legacy
   // --csv/--json flags remain as independent destinations. The default CSV

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "baselines/comparison.hpp"
+#include "core/detailed_runner.hpp"
 #include "core/timing_model.hpp"
 #include "model/area_power.hpp"
 #include "sa/sparse.hpp"
@@ -113,6 +114,13 @@ Scenario gemm_scenario() {
   s.schema = timing_schema("fp64", /*default_cooperative=*/false,
                            {"analytic", "detailed"});
   s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
+  s.schema.constrain(
+      "fidelity=detailed requires size <= " +
+          std::to_string(core::kDetailedMaxDim),
+      [](const exp::ParamSet& p) {
+        return p.str("fidelity") != "detailed" ||
+               p.u64("size") <= core::kDetailedMaxDim;
+      });
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     core::TimingOptions options = timing_options_from(request);
@@ -278,6 +286,13 @@ Scenario fig7_scenario() {
   declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
   s.schema.enumerant("fidelity", "analytic", {"analytic", "detailed"},
                      "execution backend");
+  s.schema.constrain(
+      "fidelity=detailed requires size <= " +
+          std::to_string(core::kDetailedMaxDim),
+      [](const exp::ParamSet& p) {
+        return p.str("fidelity") != "detailed" ||
+               p.u64("size") <= core::kDetailedMaxDim;
+      });
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -413,6 +428,9 @@ Scenario sparsity_scenario() {
   s.schema.u64("k", 256, "reduction depth", 1, 1048576);
   s.schema.u64("kept", 2, "nonzeros kept per group", 1, 64);
   s.schema.u64("group", 4, "sparsity group size", 1, 64);
+  s.schema.constrain("kept <= group", [](const exp::ParamSet& p) {
+    return p.u64("kept") <= p.u64("group");
+  });
   s.run = [](const ScenarioRequest& request) {
     const sa::TileShape shape{request.params.u64("m"),
                               request.params.u64("n"),
@@ -420,12 +438,6 @@ Scenario sparsity_scenario() {
     sa::SparseSaConfig config;
     config.kept = static_cast<unsigned>(request.params.u64("kept"));
     config.group = static_cast<unsigned>(request.params.u64("group"));
-    if (config.kept > config.group) {
-      throw std::invalid_argument(
-          "parameter 'kept': must not exceed 'group' (" +
-          std::to_string(config.kept) + " > " +
-          std::to_string(config.group) + ")");
-    }
     const sa::SparseSaTiming timing =
         sa::compute_sparse_sa_timing(shape, config);
     ScenarioResult result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
@@ -9,6 +10,8 @@
 
 #include "driver/hardware_knobs.hpp"
 #include "exp/results.hpp"
+#include "store/campaign_store.hpp"
+#include "store/fingerprint.hpp"
 #include "util/table.hpp"
 
 namespace maco::driver {
@@ -43,8 +46,17 @@ std::size_t SweepResults::failures() const noexcept {
   return count;
 }
 
+std::size_t SweepResults::cached() const noexcept {
+  std::size_t count = 0;
+  for (const SweepRow& row : rows) {
+    if (row.cached) ++count;
+  }
+  return count;
+}
+
 SweepResults run_sweep(const ScenarioRegistry& registry,
-                       const SweepRequest& request) {
+                       const SweepRequest& request,
+                       store::CampaignStore* store) {
   const Scenario* scenario = registry.find(request.scenario);
   if (scenario == nullptr) {
     std::string known;
@@ -99,8 +111,16 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
   const std::size_t points = sweep_point_count(request.axes);
   results.rows.resize(points);
 
+  // The resume key: the scenario's schema chained into the hardware
+  // schema. A change to either invalidates every cached point of this
+  // scenario rather than silently reusing stale results.
+  const std::uint64_t schema_hash = store::schema_digest(
+      hardware_schema(), store::schema_digest(scenario->schema));
+
   // Worker pool: an atomic cursor hands out point indices; every run builds
-  // its own SystemConfig and ScenarioRequest, so runs share nothing.
+  // its own SystemConfig and ScenarioRequest, so runs share nothing. The
+  // campaign store serializes appends internally, so workers stream
+  // completed points straight in.
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&]() {
     while (true) {
@@ -117,12 +137,53 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
           (scenario->schema.has(key) ? scenario_raw
                                      : hardware_raw)[key] = value;
         }
+        const exp::ParamSet hardware_params =
+            hardware_schema().bind(hardware_raw);
+        const exp::ParamSet scenario_params =
+            scenario->schema.bind(scenario_raw);
+
+        // The canonicalization and fingerprint hash only matter to the
+        // campaign store; a store-less sweep skips that per-point work.
+        store::CampaignRecord record;
+        if (store != nullptr) {
+          record.scenario = scenario->name;
+          record.schema_hash = schema_hash;
+          store::canonical_params(scenario_params, record.params,
+                                  record.explicit_params);
+          store::canonical_params(hardware_params, record.params,
+                                  record.explicit_params);
+          record.fingerprint = record.computed_fingerprint();
+          record.fidelity = scenario_params.has("fidelity")
+                                ? scenario_params.str("fidelity")
+                                : "analytic";
+          store::CampaignRecord cached;
+          if (store->lookup(record.fingerprint, schema_hash, cached)) {
+            row.result.metrics = std::move(cached.metrics);
+            row.cached = true;
+            continue;
+          }
+        }
+
         ScenarioRequest run;
-        apply_hardware_params(hardware_schema().bind(hardware_raw),
-                              run.config);
-        run.params = scenario->schema.bind(scenario_raw);
-        row.result = scenario->run(run);
+        apply_hardware_params(hardware_params, run.config);
+        run.params = scenario_params;
+        const auto start = std::chrono::steady_clock::now();
+        try {
+          row.result = scenario->run(run);
+        } catch (const std::exception& error) {
+          row.error = error.what();
+        }
+        if (store != nullptr) {
+          record.wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+          record.metrics = row.result.metrics;
+          record.error = row.error;
+          store->append(record);
+        }
       } catch (const std::exception& error) {
+        // Bind/constraint failures (and store write failures) land here;
+        // there is no fingerprintable outcome to record.
         row.error = error.what();
       }
     }

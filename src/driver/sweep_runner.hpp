@@ -7,6 +7,13 @@
 // points on a std::thread worker pool (one SystemConfig per run — no shared
 // mutable state), and serializes the typed metric rows as CSV or JSON
 // through exp::results' single formatting path.
+//
+// With a campaign store attached the sweep becomes resumable: each point's
+// typed-ParamSet fingerprint is checked against the store first — a hit
+// (same schema hash, error-free) is loaded instead of run, a miss runs and
+// streams its record into the store through the store's serialized writer,
+// so a killed campaign restarts where it died losing at most the in-flight
+// points.
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +23,10 @@
 
 #include "driver/cli.hpp"
 #include "driver/scenario_registry.hpp"
+
+namespace maco::store {
+class CampaignStore;
+}
 
 namespace maco::driver {
 
@@ -27,12 +38,14 @@ struct SweepRequest {
 };
 
 // One sweep point's outcome. `params` holds the full parameter set of the
-// point (base + axis values); `error` is non-empty when the run threw.
+// point (base + axis values); `error` is non-empty when the run threw;
+// `cached` marks a point satisfied from the campaign store without running.
 struct SweepRow {
   std::size_t index = 0;
   std::map<std::string, std::string> params;
   ScenarioResult result;
   std::string error;
+  bool cached = false;
 
   bool ok() const noexcept { return error.empty(); }
 };
@@ -51,13 +64,17 @@ struct SweepResults {
   std::vector<SweepRow> rows;                // Cartesian order
 
   std::size_t failures() const noexcept;
+  std::size_t cached() const noexcept;  // rows satisfied from the store
 };
 
 // Validates the request (unknown scenario, unknown parameter keys or
 // malformed/out-of-range values => throws std::invalid_argument before
-// anything runs) and executes all points.
+// anything runs) and executes all points. A non-null `store` makes the
+// sweep resumable: already-recorded points are loaded instead of run and
+// new points stream into the store as they finish.
 SweepResults run_sweep(const ScenarioRegistry& registry,
-                       const SweepRequest& request);
+                       const SweepRequest& request,
+                       store::CampaignStore* store = nullptr);
 
 // Number of Cartesian points the axes expand to (1 when no axes).
 std::size_t sweep_point_count(const std::vector<SweepAxis>& axes);

@@ -180,8 +180,22 @@ ParamSchema& ParamSchema::str(std::string name, std::string default_value,
   return add(std::move(decl));
 }
 
+ParamSchema& ParamSchema::constrain(
+    std::string rule, std::function<bool(const ParamSet&)> satisfied) {
+  if (!satisfied) {
+    throw std::logic_error("ParamSchema: constraint '" + rule +
+                           "' has no predicate");
+  }
+  constraints_.push_back(
+      ParamConstraint{std::move(rule), std::move(satisfied)});
+  return *this;
+}
+
 ParamSchema& ParamSchema::merge(const ParamSchema& other) {
   for (const ParamDecl& decl : other.decls_) add(decl);
+  for (const ParamConstraint& constraint : other.constraints_) {
+    constraints_.push_back(constraint);
+  }
   return *this;
 }
 
@@ -264,6 +278,15 @@ ParamSet ParamSchema::bind(const std::map<std::string, std::string>& raw)
   }
   for (const ParamDecl& decl : decls_) {
     set.values_.emplace(decl.name, decl.default_value);
+  }
+  // Cross-field constraints run over the fully-defaulted set, so a rule
+  // like "kept <= group" also catches an explicit value clashing with a
+  // default.
+  for (const ParamConstraint& constraint : constraints_) {
+    if (!constraint.satisfied(set)) {
+      throw std::invalid_argument("constraint '" + constraint.rule +
+                                  "' violated by the given parameters");
+    }
   }
   return set;
 }

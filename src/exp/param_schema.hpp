@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <set>
@@ -39,6 +40,16 @@ struct ParamDecl {
   bool bounded() const noexcept;
   // "[1,16]" for bounded numerics, "fp64|fp32|fp16" for enums, "" otherwise.
   std::string range_text() const;
+};
+
+// A declarative cross-field constraint: a human-readable rule (what
+// --list-scenarios prints) plus the predicate that enforces it over a fully
+// bound ParamSet. Per-value checks belong on the ParamDecl; constraints
+// relate two or more parameters (kept <= group, fidelity=detailed size cap,
+// node_count vs mesh capacity).
+struct ParamConstraint {
+  std::string rule;  // e.g. "kept <= group"
+  std::function<bool(const class ParamSet&)> satisfied;
 };
 
 // The typed parameters of one run: every declared parameter is present
@@ -87,8 +98,20 @@ class ParamSchema {
   ParamSchema& str(std::string name, std::string default_value,
                    std::string description);
 
-  // Appends every declaration of `other` (duplicate names throw).
+  // Declares a cross-field constraint checked by bind() after defaults are
+  // filled; a violated rule throws std::invalid_argument naming it. The
+  // rule text is surfaced by --list-scenarios next to the parameters it
+  // relates, so users see "kept <= group" before any run.
+  ParamSchema& constrain(std::string rule,
+                         std::function<bool(const ParamSet&)> satisfied);
+
+  // Appends every declaration and constraint of `other` (duplicate names
+  // throw).
   ParamSchema& merge(const ParamSchema& other);
+
+  const std::vector<ParamConstraint>& constraints() const noexcept {
+    return constraints_;
+  }
 
   const std::vector<ParamDecl>& decls() const noexcept { return decls_; }
   const ParamDecl* find(std::string_view name) const noexcept;
@@ -110,6 +133,7 @@ class ParamSchema {
  private:
   ParamSchema& add(ParamDecl decl);
   std::vector<ParamDecl> decls_;
+  std::vector<ParamConstraint> constraints_;
 };
 
 }  // namespace maco::exp

@@ -1,0 +1,315 @@
+#include "store/campaign_store.hpp"
+
+#include <bit>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "store/fingerprint.hpp"
+
+namespace maco::store {
+namespace {
+
+constexpr char kFileMagic[8] = {'M', 'A', 'C', 'O', 'C', 'D', 'B', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFrameMagic = 0x4d435245;  // "MCRE"
+constexpr std::size_t kHeaderBytes = sizeof kFileMagic + sizeof(std::uint32_t);
+// A frame claiming more than this is treated as corruption, not a record.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_string(std::string& out, const std::string& text) {
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out += text;
+}
+
+// Bounds-checked sequential decoder over one payload.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(byte()) << shift;
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(byte()) << shift;
+    }
+    return value;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() { return byte() != 0; }
+
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (size > data_.size() - pos_) {
+      throw std::runtime_error("campaign record: string runs past payload");
+    }
+    std::string text = data_.substr(pos_, size);
+    pos_ += size;
+    return text;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  unsigned char byte() {
+    if (pos_ >= data_.size()) {
+      throw std::runtime_error("campaign record: payload truncated");
+    }
+    return static_cast<unsigned char>(data_[pos_++]);
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_record(const CampaignRecord& record) {
+  std::string payload;
+  put_u64(payload, record.fingerprint);
+  put_u64(payload, record.schema_hash);
+  put_string(payload, record.scenario);
+  put_string(payload, record.fidelity);
+  put_u32(payload, static_cast<std::uint32_t>(record.params.size()));
+  for (const auto& [key, value] : record.params) {
+    put_string(payload, key);
+    put_string(payload, value);
+    payload.push_back(record.explicit_params.count(key) != 0 ? '\1' : '\0');
+  }
+  put_u32(payload, static_cast<std::uint32_t>(record.metrics.size()));
+  for (const exp::Metric& metric : record.metrics) {
+    put_string(payload, metric.name);
+    put_f64(payload, metric.value);
+    put_string(payload, metric.unit);
+    payload.push_back(metric.higher_is_better ? '\1' : '\0');
+  }
+  put_string(payload, record.error);
+  put_f64(payload, record.wall_ms);
+  return payload;
+}
+
+CampaignRecord decode_record(const std::string& payload) {
+  Reader reader(payload);
+  CampaignRecord record;
+  record.fingerprint = reader.u64();
+  record.schema_hash = reader.u64();
+  record.scenario = reader.str();
+  record.fidelity = reader.str();
+  const std::uint32_t param_count = reader.u32();
+  for (std::uint32_t i = 0; i < param_count; ++i) {
+    std::string key = reader.str();
+    std::string value = reader.str();
+    const bool explicitly_set = reader.boolean();
+    if (explicitly_set) record.explicit_params.insert(key);
+    record.params.emplace(std::move(key), std::move(value));
+  }
+  const std::uint32_t metric_count = reader.u32();
+  for (std::uint32_t i = 0; i < metric_count; ++i) {
+    exp::Metric metric;
+    metric.name = reader.str();
+    metric.value = reader.f64();
+    metric.unit = reader.str();
+    metric.higher_is_better = reader.boolean();
+    record.metrics.push_back(std::move(metric));
+  }
+  record.error = reader.str();
+  record.wall_ms = reader.f64();
+  if (!reader.exhausted()) {
+    throw std::runtime_error("campaign record: trailing bytes in payload");
+  }
+  return record;
+}
+
+CampaignStore::CampaignStore(std::string path, Mode mode)
+    : path_(std::move(path)), mode_(mode) {
+  load();
+}
+
+void CampaignStore::load() {
+  namespace fs = std::filesystem;
+  const bool writable = mode_ == Mode::kAppend;
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+    } else if (!writable) {
+      throw std::runtime_error("campaign store: cannot read '" + path_ +
+                               "'");
+    }
+  }
+
+  std::string header;
+  header.append(kFileMagic, sizeof kFileMagic);
+  put_u32(header, kFormatVersion);
+
+  std::size_t valid_end = 0;
+  if (contents.size() < kHeaderBytes) {
+    // Empty or killed mid-header-write: nothing recoverable; a writable
+    // store starts fresh, a read-only one must at least carry the magic.
+    if (!contents.empty() &&
+        header.compare(0, contents.size(), contents) != 0) {
+      throw std::runtime_error("campaign store: '" + path_ +
+                               "' is not a campaign store (bad magic)");
+    }
+    dropped_bytes_ = contents.size();
+  } else {
+    if (contents.compare(0, sizeof kFileMagic, kFileMagic,
+                         sizeof kFileMagic) != 0) {
+      throw std::runtime_error("campaign store: '" + path_ +
+                               "' is not a campaign store (bad magic)");
+    }
+    if (contents.compare(0, kHeaderBytes, header) != 0) {
+      throw std::runtime_error(
+          "campaign store: '" + path_ +
+          "' has an unsupported format version (want " +
+          std::to_string(kFormatVersion) + ")");
+    }
+    valid_end = kHeaderBytes;
+    std::size_t pos = kHeaderBytes;
+    const auto remaining = [&] { return contents.size() - pos; };
+    while (true) {
+      constexpr std::size_t kFrameOverhead =
+          2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+      if (remaining() < kFrameOverhead) break;
+      const std::string frame_header =
+          contents.substr(pos, 2 * sizeof(std::uint32_t));
+      Reader frame(frame_header);
+      if (frame.u32() != kFrameMagic) break;
+      const std::uint32_t payload_size = frame.u32();
+      if (payload_size > kMaxPayloadBytes ||
+          remaining() < kFrameOverhead + payload_size) {
+        break;
+      }
+      const std::string payload =
+          contents.substr(pos + 2 * sizeof(std::uint32_t), payload_size);
+      const std::string checksum_bytes = contents.substr(
+          pos + 2 * sizeof(std::uint32_t) + payload_size,
+          sizeof(std::uint64_t));
+      Reader checksum_reader(checksum_bytes);
+      if (checksum_reader.u64() != fnv1a64(payload)) break;
+      CampaignRecord record;
+      try {
+        record = decode_record(payload);
+      } catch (const std::runtime_error&) {
+        break;
+      }
+      pos += kFrameOverhead + payload_size;
+      valid_end = pos;
+      if (record.ok()) {
+        ok_index_[{record.fingerprint, record.schema_hash}] =
+            records_.size();
+      }
+      records_.push_back(std::move(record));
+    }
+    dropped_bytes_ = contents.size() - valid_end;
+  }
+
+  if (!writable) return;
+
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);  // open failure reports the error
+  }
+  // A torn tail is truncated away so the next frame lands on a clean
+  // boundary; a new or empty file gets its header written first.
+  if (dropped_bytes_ > 0) {
+    std::error_code ec;
+    fs::resize_file(path_, valid_end, ec);
+    if (ec) {
+      throw std::runtime_error("campaign store: cannot truncate torn tail "
+                               "of '" + path_ + "': " + ec.message());
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::out | std::ios::app);
+  if (out_ && valid_end == 0) {
+    out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out_.flush();
+  }
+  if (!out_) {
+    throw std::runtime_error("campaign store: cannot write '" + path_ +
+                             "'");
+  }
+}
+
+void CampaignStore::append(const CampaignRecord& record) {
+  if (record.computed_fingerprint() != record.fingerprint) {
+    throw std::logic_error(
+        "campaign store: record fingerprint does not match its params");
+  }
+  const std::string payload = encode_record(record);
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  put_u32(frame, kFrameMagic);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  put_u64(frame, fnv1a64(payload));
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ != Mode::kAppend) {
+    throw std::runtime_error("campaign store: '" + path_ +
+                             "' is open read-only");
+  }
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("campaign store: write to '" + path_ +
+                             "' failed");
+  }
+  if (record.ok()) {
+    ok_index_[{record.fingerprint, record.schema_hash}] = records_.size();
+  }
+  records_.push_back(record);
+}
+
+bool CampaignStore::contains(std::uint64_t fingerprint,
+                             std::uint64_t schema_hash) const {
+  return find(fingerprint, schema_hash) != nullptr;
+}
+
+const CampaignRecord* CampaignStore::find(std::uint64_t fingerprint,
+                                          std::uint64_t schema_hash) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ok_index_.find({fingerprint, schema_hash});
+  return it == ok_index_.end() ? nullptr : &records_[it->second];
+}
+
+bool CampaignStore::lookup(std::uint64_t fingerprint,
+                           std::uint64_t schema_hash,
+                           CampaignRecord& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ok_index_.find({fingerprint, schema_hash});
+  if (it == ok_index_.end()) return false;
+  out = records_[it->second];
+  return true;
+}
+
+}  // namespace maco::store

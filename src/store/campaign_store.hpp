@@ -1,0 +1,103 @@
+// The campaign store: an append-only, single-file results database.
+//
+// File layout (all integers little-endian):
+//
+//   header : 8-byte magic "MACOCDB1", u32 format version
+//   record : u32 frame magic, u32 payload size, payload, u64 FNV-1a of the
+//            payload
+//
+// The payload serializes one CampaignRecord (length-prefixed strings,
+// bit-cast doubles). Appends happen under one mutex with a flush per
+// record, so sweep workers stream points in concurrently and a crash loses
+// at most the in-flight point. Opening scans the file front to back and
+// stops at the first torn or corrupt frame — a record cut short by a kill
+// is dropped (and, in writable mode, truncated away) while every record
+// before it is recovered.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/record.hpp"
+
+namespace maco::store {
+
+class CampaignStore {
+ public:
+  enum class Mode {
+    kAppend,    // create if missing, recover, truncate a torn tail, allow
+                // append()
+    kReadOnly,  // existing file only; recovery drops the torn tail from the
+                // in-memory view without touching the file
+  };
+
+  // Throws std::runtime_error on an unopenable file, a foreign magic or an
+  // unsupported version. Missing parent directories are created in append
+  // mode.
+  explicit CampaignStore(std::string path, Mode mode = Mode::kAppend);
+
+  const std::string& path() const noexcept { return path_; }
+
+  // Serialized and flushed; safe to call from concurrent sweep workers.
+  // Throws std::logic_error when the record's stored fingerprint does not
+  // match its params (a caller bug), std::runtime_error on a write failure
+  // or a read-only store.
+  void append(const CampaignRecord& record);
+
+  // True when an error-free record with this fingerprint and schema hash
+  // exists — the resume predicate: failed points and points recorded under
+  // a different schema re-run instead of being reused.
+  bool contains(std::uint64_t fingerprint,
+                std::uint64_t schema_hash) const;
+
+  // The latest error-free record with this fingerprint and schema hash;
+  // nullptr when absent. Pointers stay valid until the next append().
+  const CampaignRecord* find(std::uint64_t fingerprint,
+                             std::uint64_t schema_hash) const;
+
+  // Copying variant of find(), safe against concurrent append() (which may
+  // reallocate the record vector) — what sweep workers use.
+  bool lookup(std::uint64_t fingerprint, std::uint64_t schema_hash,
+              CampaignRecord& out) const;
+
+  // Every recovered record, append order (duplicates possible: a re-run
+  // point appends again; find() prefers the latest).
+  const std::vector<CampaignRecord>& records() const noexcept {
+    return records_;
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  // Bytes of torn/corrupt tail dropped during recovery (0 for a clean
+  // file).
+  std::size_t recovered_dropped_bytes() const noexcept {
+    return dropped_bytes_;
+  }
+
+ private:
+  void load();
+
+  std::string path_;
+  Mode mode_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  std::vector<CampaignRecord> records_;
+  // (fingerprint, schema hash) -> index of the latest error-free record;
+  // both halves key the lookup so records from one schema version never
+  // shadow still-valid records from another.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> ok_index_;
+  std::size_t dropped_bytes_ = 0;
+};
+
+// Payload (de)serialization, exposed for the durability tests.
+std::string encode_record(const CampaignRecord& record);
+// Throws std::runtime_error on a malformed payload.
+CampaignRecord decode_record(const std::string& payload);
+
+}  // namespace maco::store

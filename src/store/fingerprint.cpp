@@ -1,0 +1,93 @@
+#include "store/fingerprint.hpp"
+
+#include <algorithm>
+
+namespace maco::store {
+
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t seed) noexcept {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+// The canonical text's metacharacters ('\n' line separator, '=' key/value
+// separator, '!' explicitness marker, '\\' itself) are escaped inside keys
+// and values, so a string parameter containing them cannot forge another
+// point's identity (e.g. a value ending in '!' aliasing the explicit
+// marker).
+void append_escaped(std::string& text, const std::string& piece) {
+  for (const char c : piece) {
+    switch (c) {
+      case '\\': text += "\\\\"; break;
+      case '\n': text += "\\n"; break;
+      case '=': text += "\\="; break;
+      case '!': text += "\\!"; break;
+      default: text += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string canonical_point_text(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& params,
+    const std::set<std::string>& explicit_params,
+    const std::vector<std::string>& ignore) {
+  // std::map iteration is already name-sorted, so the text is stable
+  // regardless of declaration or command-line order.
+  std::string text;
+  append_escaped(text, scenario);
+  text += '\n';
+  for (const auto& [key, value] : params) {
+    if (std::find(ignore.begin(), ignore.end(), key) != ignore.end()) {
+      continue;
+    }
+    append_escaped(text, key);
+    text += '=';
+    append_escaped(text, value);
+    if (explicit_params.count(key) != 0) text += '!';
+    text += '\n';
+  }
+  return text;
+}
+
+std::uint64_t point_fingerprint(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& params,
+    const std::set<std::string>& explicit_params,
+    const std::vector<std::string>& ignore) {
+  return fnv1a64(
+      canonical_point_text(scenario, params, explicit_params, ignore));
+}
+
+void canonical_params(const exp::ParamSet& bound,
+                      std::map<std::string, std::string>& params,
+                      std::set<std::string>& explicit_params) {
+  for (const auto& [name, value] : bound.values()) {
+    params[name] = value.to_string();
+    if (bound.was_set(name)) explicit_params.insert(name);
+  }
+}
+
+std::uint64_t schema_digest(const exp::ParamSchema& schema,
+                            std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const exp::ParamDecl& decl : schema.decls()) {
+    hash = fnv1a64(decl.name, hash);
+    hash = fnv1a64(exp::param_type_name(decl.type), hash);
+    hash = fnv1a64(decl.default_value.to_string(), hash);
+    hash = fnv1a64(decl.range_text(), hash);
+  }
+  for (const exp::ParamConstraint& constraint : schema.constraints()) {
+    hash = fnv1a64(constraint.rule, hash);
+  }
+  return hash;
+}
+
+}  // namespace maco::store

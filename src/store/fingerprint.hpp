@@ -1,0 +1,58 @@
+// Sweep-point and schema fingerprints for the campaign store.
+//
+// A sweep point's identity is its canonical text: the scenario name plus
+// every bound parameter (defaults included) in ParamValue::to_string form,
+// sorted by name, with explicitly-set parameters marked — scenarios may
+// treat an explicit value differently from an identical default (`nodes`
+// follows node_count only while unset), so explicitness is part of the
+// identity. The FNV-1a hash of that text is the fingerprint resume keys on;
+// the schema digest hashes the declarations + constraints so a schema change
+// invalidates cached points instead of silently reusing them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/param_schema.hpp"
+
+namespace maco::store {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+// FNV-1a over `text`, chainable through `seed`.
+std::uint64_t fnv1a64(std::string_view text,
+                      std::uint64_t seed = kFnvOffset) noexcept;
+
+// Canonical text of one sweep point from already-canonical params (a
+// CampaignRecord, or bound ParamSets flattened by canonical_params).
+// Parameters named in `ignore` are dropped — `report --ignore KEY` uses
+// this to match points across an A/B knob.
+std::string canonical_point_text(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& params,
+    const std::set<std::string>& explicit_params,
+    const std::vector<std::string>& ignore = {});
+
+std::uint64_t point_fingerprint(
+    const std::string& scenario,
+    const std::map<std::string, std::string>& params,
+    const std::set<std::string>& explicit_params,
+    const std::vector<std::string>& ignore = {});
+
+// Flattens bound ParamSets (scenario knobs + hardware knobs; disjoint key
+// spaces) to canonical text, filling `params` and `explicit_params`.
+void canonical_params(const exp::ParamSet& bound,
+                      std::map<std::string, std::string>& params,
+                      std::set<std::string>& explicit_params);
+
+// Digest of a schema: every declaration (name, type, default, range,
+// choices) and every constraint rule, chainable through `seed` so the
+// scenario schema and the hardware schema fold into one digest.
+std::uint64_t schema_digest(const exp::ParamSchema& schema,
+                            std::uint64_t seed = kFnvOffset);
+
+}  // namespace maco::store

@@ -1,0 +1,106 @@
+// Query, pivot and comparison over campaign-store records.
+//
+// select() filters records by exact canonical key=value matches; build_table
+// pivots the survivors into a report table (parameters that never vary are
+// folded into a fixed-params preamble instead of repeating per row);
+// compare_campaigns matches points across two stores by fingerprint —
+// optionally ignoring chosen keys, so two campaigns that differ only in one
+// A/B knob line up — and flags direction-aware metric deltas beyond a
+// relative tolerance as regressions.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "store/record.hpp"
+
+namespace maco::store {
+
+// Exact-match filter; the pseudo-key "scenario" matches the scenario name,
+// every other key matches the record's canonical parameter text.
+std::vector<const CampaignRecord*> select(
+    const std::vector<CampaignRecord>& records,
+    const std::map<std::string, std::string>& where);
+
+struct TableColumn {
+  std::string name;
+  std::string unit;              // metric columns only
+  bool higher_is_better = true;  // metric columns only
+};
+
+struct CampaignTable {
+  std::map<std::string, std::string> fixed_params;  // constant across rows
+  std::vector<std::string> param_columns;           // varying, sorted
+  std::vector<TableColumn> metric_columns;          // union, first seen
+  std::vector<const CampaignRecord*> rows;
+
+  std::size_t failures() const noexcept;
+};
+
+// `metrics` restricts the metric columns (empty = all). Records are kept in
+// the order given (append order from the store).
+CampaignTable build_table(const std::vector<const CampaignRecord*>& records,
+                          const std::vector<std::string>& metrics = {});
+
+enum class ReportFormat { kTable, kCsv, kJson, kMarkdown };
+
+void write_table(std::ostream& out, const CampaignTable& table,
+                 ReportFormat format);
+
+// ---- campaign comparison ----
+
+struct CompareOptions {
+  double tolerance = 0.02;           // relative; 0.02 = 2%
+  std::vector<std::string> ignore;   // params dropped before matching
+  std::vector<std::string> metrics;  // restrict deltas (empty = all)
+};
+
+struct MetricDelta {
+  std::string metric;
+  std::string unit;
+  bool higher_is_better = true;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - baseline) / |baseline|
+  bool regression = false;  // current worse beyond tolerance
+  bool improvement = false;
+};
+
+struct PointComparison {
+  const CampaignRecord* current = nullptr;
+  const CampaignRecord* baseline = nullptr;
+  std::vector<MetricDelta> deltas;
+};
+
+struct CampaignComparison {
+  std::vector<PointComparison> points;  // matched pairs
+  std::size_t current_only = 0;         // points with no partner
+  std::size_t baseline_only = 0;
+  // Distinct points collapsed onto an already-used identity by --ignore
+  // (the store sweeps an ignored knob): they are excluded from matching,
+  // and silently excluding them would make a regression gate lie.
+  std::size_t current_collapsed = 0;
+  std::size_t baseline_collapsed = 0;
+
+  std::size_t regressions() const noexcept;
+  std::size_t improvements() const noexcept;
+};
+
+// `current` is the campaign under test (report --store), `baseline` the
+// reference (report --compare): a regression means current moved in its
+// metric's bad direction relative to baseline by more than the tolerance.
+CampaignComparison compare_campaigns(
+    const std::vector<const CampaignRecord*>& current,
+    const std::vector<const CampaignRecord*>& baseline,
+    const CompareOptions& options);
+
+// Regression-focused rendering; kTable and kMarkdown list every matched
+// metric, kCsv/kJson carry the full delta data.
+void write_comparison(std::ostream& out, const CampaignComparison& comparison,
+                      ReportFormat format,
+                      const CompareOptions& options);
+
+}  // namespace maco::store

@@ -1,0 +1,39 @@
+// One campaign-store record: everything needed to identify, reuse and
+// report a sweep point without re-running it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/results.hpp"
+#include "store/fingerprint.hpp"
+
+namespace maco::store {
+
+struct CampaignRecord {
+  std::uint64_t fingerprint = 0;   // point_fingerprint of the fields below
+  std::uint64_t schema_hash = 0;   // scenario schema + hardware schema digest
+  std::string scenario;
+  std::string fidelity;            // execution backend of the run
+  // The full bound parameter set in canonical text form (defaults
+  // included); explicit_params marks the user-supplied subset.
+  std::map<std::string, std::string> params;
+  std::set<std::string> explicit_params;
+  std::vector<exp::Metric> metrics;
+  std::string error;               // non-empty when the run threw
+  double wall_ms = 0.0;            // wall time of the run
+
+  bool ok() const noexcept { return error.empty(); }
+
+  // Recomputes the fingerprint from the identity fields (what append()
+  // verifies and `report --ignore` re-derives with keys dropped).
+  std::uint64_t computed_fingerprint(
+      const std::vector<std::string>& ignore = {}) const {
+    return point_fingerprint(scenario, params, explicit_params, ignore);
+  }
+};
+
+}  // namespace maco::store

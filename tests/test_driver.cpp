@@ -2,6 +2,7 @@
 // sweep execution and result serialization.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
 #include "driver/sweep_runner.hpp"
+#include "store/campaign_store.hpp"
 
 namespace maco::driver {
 namespace {
@@ -145,9 +147,101 @@ TEST(Cli, ParsesOutputAndFormat) {
       parse_cli({"--scenario", "gemm", "--output", "out.json"});
   ASSERT_TRUE(inferred.ok) << inferred.error;
   EXPECT_EQ(inferred.options.output_format, "json");
-  const CliParse other = parse_cli({"--scenario", "gemm", "-o", "out.txt"});
-  ASSERT_TRUE(other.ok) << other.error;
-  EXPECT_EQ(other.options.output_format, "csv");
+}
+
+TEST(Cli, RejectsUninferrableOutputExtensions) {
+  // An extension naming neither format must fail loudly instead of
+  // silently producing CSV in a file whose name promises something else.
+  for (const char* path : {"out.txt", "out.xml", "results", "out.json.bak",
+                           "dir.d/out"}) {
+    const CliParse parse = parse_cli({"--scenario", "gemm", "-o", path});
+    EXPECT_FALSE(parse.ok) << path;
+    EXPECT_NE(parse.error.find("cannot infer --format"), std::string::npos)
+        << path;
+  }
+  // An explicit --format overrides any extension.
+  const CliParse forced = parse_cli(
+      {"--scenario", "gemm", "-o", "out.txt", "--format", "csv"});
+  ASSERT_TRUE(forced.ok) << forced.error;
+  EXPECT_EQ(forced.options.output_format, "csv");
+  // "-" (stdout) keeps its historical CSV default in both commands.
+  const CliParse stdout_sweep = parse_cli({"--scenario", "gemm", "-o", "-"});
+  ASSERT_TRUE(stdout_sweep.ok) << stdout_sweep.error;
+  EXPECT_EQ(stdout_sweep.options.output_format, "csv");
+  const CliParse stdout_report =
+      parse_cli({"report", "--store", "a.mdb", "-o", "-"});
+  ASSERT_TRUE(stdout_report.ok) << stdout_report.error;
+  EXPECT_EQ(stdout_report.options.output_format, "table");
+}
+
+TEST(Cli, ParsesStorePath) {
+  const CliParse parse = parse_cli(
+      {"--scenario", "gemm", "--store", "campaign.mdb"});
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.options.command, CliCommand::kSweep);
+  EXPECT_EQ(parse.options.store_path, "campaign.mdb");
+  EXPECT_FALSE(parse_cli({"--scenario", "gemm", "--store"}).ok);
+}
+
+TEST(Cli, ParsesReportCommand) {
+  const CliParse parse = parse_cli(
+      {"report", "--store", "a.mdb", "--where", "nodes=16", "--where",
+       "size=512", "--metric", "gflops", "--compare", "b.mdb",
+       "--tolerance", "0.05", "--ignore", "dram_efficiency", "--format",
+       "md"});
+  ASSERT_TRUE(parse.ok) << parse.error;
+  const CliOptions& options = parse.options;
+  EXPECT_EQ(options.command, CliCommand::kReport);
+  EXPECT_EQ(options.store_path, "a.mdb");
+  EXPECT_EQ(options.compare_path, "b.mdb");
+  ASSERT_EQ(options.where.size(), 2u);
+  EXPECT_EQ(options.where.at("nodes"), "16");
+  EXPECT_EQ(options.metrics, (std::vector<std::string>{"gflops"}));
+  EXPECT_EQ(options.ignore_keys,
+            (std::vector<std::string>{"dram_efficiency"}));
+  EXPECT_DOUBLE_EQ(options.tolerance, 0.05);
+  EXPECT_EQ(options.output_format, "md");
+}
+
+TEST(Cli, ReportValidatesItsGrammar) {
+  // --store is mandatory.
+  EXPECT_FALSE(parse_cli({"report"}).ok);
+  EXPECT_FALSE(parse_cli({"report", "--where", "nodes=16"}).ok);
+  // --tolerance/--ignore only make sense with --compare.
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "--tolerance", "0.1"}).ok);
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "--ignore", "nodes"}).ok);
+  // Malformed values.
+  EXPECT_FALSE(parse_cli({"report", "--store", "a.mdb", "--compare",
+                          "b.mdb", "--tolerance", "lots"})
+                   .ok);
+  EXPECT_FALSE(parse_cli({"report", "--store", "a.mdb", "--compare",
+                          "b.mdb", "--tolerance", "-0.1"})
+                   .ok);
+  // NaN/inf would silently disable every regression comparison.
+  EXPECT_FALSE(parse_cli({"report", "--store", "a.mdb", "--compare",
+                          "b.mdb", "--tolerance", "nan"})
+                   .ok);
+  EXPECT_FALSE(parse_cli({"report", "--store", "a.mdb", "--compare",
+                          "b.mdb", "--tolerance", "inf"})
+                   .ok);
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "--where", "noequals"}).ok);
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "--format", "xml"}).ok);
+  // Sweep-only flags are rejected under report.
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "--scenario", "gemm"}).ok);
+  // Output format defaults and inference.
+  EXPECT_EQ(parse_cli({"report", "--store", "a.mdb"})
+                .options.output_format,
+            "table");
+  EXPECT_EQ(parse_cli({"report", "--store", "a.mdb", "-o", "r.md"})
+                .options.output_format,
+            "md");
+  EXPECT_FALSE(
+      parse_cli({"report", "--store", "a.mdb", "-o", "r.xml"}).ok);
 }
 
 TEST(Cli, RejectsBadOutputCombinations) {
@@ -553,6 +647,225 @@ TEST(Sweep, AnalyticOnlyScenarioRejectsDetailedFidelityUpFront) {
   request.scenario = "hpl";
   request.base_params = {{"fidelity", "detailed"}};
   EXPECT_THROW(run_sweep(registry, request), std::invalid_argument);
+}
+
+// ---- campaign store resume ----
+
+// An echo-like scenario that counts executions, so resume tests can assert
+// exactly which points ran.
+Scenario counting_scenario(std::shared_ptr<std::atomic<int>> runs) {
+  Scenario s;
+  s.name = "counted";
+  s.description = "test scenario counting its executions";
+  s.schema.u64("a", 0, "echoed knob", 0, 1000);
+  s.run = [runs = std::move(runs)](const ScenarioRequest& request) {
+    runs->fetch_add(1);
+    ScenarioResult result;
+    result.add("a_times_10",
+               static_cast<double>(request.params.u64("a") * 10));
+    return result;
+  };
+  return s;
+}
+
+TEST(Sweep, StoreResumeExecutesOnlyTheRemainingPoints) {
+  const std::string path =
+      ::testing::TempDir() + "/macosim_resume_test.mdb";
+  std::remove(path.c_str());
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  ScenarioRegistry registry;
+  ASSERT_TRUE(registry.add(counting_scenario(runs)));
+
+  // First campaign: points a=1,2 execute and land in the store.
+  SweepRequest request;
+  request.scenario = "counted";
+  request.axes = {{"a", {"1", "2"}}};
+  {
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    EXPECT_EQ(results.cached(), 0u);
+    EXPECT_EQ(db.size(), 2u);
+  }
+  EXPECT_EQ(runs->load(), 2);
+
+  // The "interrupted at point 2, restarted with two more points" rerun:
+  // only a=3,4 may execute, yet every row must carry its metrics.
+  request.axes = {{"a", {"1", "2", "3", "4"}}};
+  request.threads = 4;
+  {
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    ASSERT_EQ(results.rows.size(), 4u);
+    EXPECT_EQ(results.failures(), 0u);
+    EXPECT_EQ(results.cached(), 2u);
+    EXPECT_TRUE(results.rows[0].cached);
+    EXPECT_TRUE(results.rows[1].cached);
+    EXPECT_FALSE(results.rows[2].cached);
+    EXPECT_FALSE(results.rows[3].cached);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const exp::Metric* metric = results.rows[i].result.find("a_times_10");
+      ASSERT_NE(metric, nullptr) << "row " << i;
+      EXPECT_DOUBLE_EQ(metric->value, 10.0 * static_cast<double>(i + 1));
+    }
+    EXPECT_EQ(db.size(), 4u);
+  }
+  EXPECT_EQ(runs->load(), 4);
+
+  // A third identical run is satisfied entirely from the store.
+  {
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    EXPECT_EQ(results.cached(), 4u);
+  }
+  EXPECT_EQ(runs->load(), 4);
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, StoreResumeSurvivesATornTail) {
+  // The acceptance scenario: a campaign killed mid-write. Truncating the
+  // file mid-record must cost exactly the torn point — the rerun executes
+  // it (and nothing else) again.
+  const std::string path = ::testing::TempDir() + "/macosim_torn_test.mdb";
+  std::remove(path.c_str());
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  ScenarioRegistry registry;
+  ASSERT_TRUE(registry.add(counting_scenario(runs)));
+  SweepRequest request;
+  request.scenario = "counted";
+  request.axes = {{"a", {"1", "2", "3"}}};
+  {
+    store::CampaignStore db(path);
+    run_sweep(registry, request, &db);
+  }
+  EXPECT_EQ(runs->load(), 3);
+  // Kill the tail: chop the last 5 bytes, tearing record 3's frame.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() - 5));
+  }
+  {
+    store::CampaignStore db(path);
+    EXPECT_GT(db.recovered_dropped_bytes(), 0u);
+    const SweepResults results = run_sweep(registry, request, &db);
+    EXPECT_EQ(results.cached(), 2u);
+    EXPECT_EQ(results.failures(), 0u);
+    EXPECT_EQ(db.size(), 3u);
+  }
+  EXPECT_EQ(runs->load(), 4);  // only the torn point re-ran
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, StoreSchemaChangeInvalidatesCachedPoints) {
+  // Same scenario name, different schema (a widened range): cached points
+  // must not be reused across the schema change.
+  const std::string path =
+      ::testing::TempDir() + "/macosim_schema_test.mdb";
+  std::remove(path.c_str());
+  auto runs = std::make_shared<std::atomic<int>>(0);
+  SweepRequest request;
+  request.scenario = "counted";
+  request.base_params = {{"a", "7"}};
+  {
+    ScenarioRegistry registry;
+    ASSERT_TRUE(registry.add(counting_scenario(runs)));
+    store::CampaignStore db(path);
+    run_sweep(registry, request, &db);
+    run_sweep(registry, request, &db);
+    EXPECT_EQ(runs->load(), 1);  // second run was cached
+  }
+  {
+    ScenarioRegistry registry;
+    Scenario changed = counting_scenario(runs);
+    changed.schema = exp::ParamSchema();
+    changed.schema.u64("a", 0, "echoed knob", 0, 2000);  // widened
+    ASSERT_TRUE(registry.add(changed));
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    EXPECT_EQ(results.cached(), 0u);
+  }
+  EXPECT_EQ(runs->load(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, FailedPointsAreRecordedButNotResumedFrom) {
+  const std::string path =
+      ::testing::TempDir() + "/macosim_failed_test.mdb";
+  std::remove(path.c_str());
+  const ScenarioRegistry registry = echo_registry();
+  SweepRequest request;
+  request.scenario = "echo";
+  request.axes = {{"fail", {"false", "true"}}};
+  {
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    EXPECT_EQ(results.failures(), 1u);
+    EXPECT_EQ(db.size(), 2u);  // the failure is part of campaign history
+    EXPECT_FALSE(db.records()[1].ok() && db.records()[0].ok());
+  }
+  {
+    store::CampaignStore db(path);
+    const SweepResults results = run_sweep(registry, request, &db);
+    // The good point resumes; the failed one re-executes (and re-fails).
+    EXPECT_EQ(results.cached(), 1u);
+    EXPECT_EQ(results.failures(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- declarative cross-field constraints ----
+
+TEST(Registry, ConstraintViolationsSurfaceAsTypedDiagnostics) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  // kept > group is now a schema-level rule, visible before any run.
+  const Scenario* sparsity = registry.find("ext_sparsity");
+  ASSERT_NE(sparsity, nullptr);
+  ASSERT_FALSE(sparsity->schema.constraints().empty());
+  EXPECT_THROW(sparsity->schema.bind({{"kept", "8"}, {"group", "4"}}),
+               std::invalid_argument);
+  // The detailed-fidelity size cap on gemm.
+  const Scenario* gemm = registry.find("gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_NO_THROW(
+      gemm->schema.bind({{"fidelity", "detailed"}, {"size", "2048"}}));
+  EXPECT_THROW(
+      gemm->schema.bind({{"fidelity", "detailed"}, {"size", "4096"}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      gemm->schema.bind({{"fidelity", "analytic"}, {"size", "65536"}}));
+}
+
+TEST(Sweep, ConstraintViolationIsIsolatedToItsRow) {
+  // A sweep mixing legal and illegal combinations: the illegal point gets
+  // a row error naming the rule, the rest run.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "ext_sparsity";
+  request.base_params = {{"group", "4"}};
+  request.axes = {{"kept", {"2", "4", "8"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 3u);
+  EXPECT_TRUE(results.rows[0].ok());
+  EXPECT_TRUE(results.rows[1].ok());
+  EXPECT_FALSE(results.rows[2].ok());
+  EXPECT_NE(results.rows[2].error.find("kept <= group"),
+            std::string::npos);
+}
+
+TEST(HardwareKnobs, MeshCapacityIsADeclaredConstraint) {
+  ASSERT_FALSE(hardware_schema().constraints().empty());
+  EXPECT_THROW(hardware_schema().bind({{"node_count", "64"}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(hardware_schema().bind({{"node_count", "64"},
+                                          {"mesh_width", "8"},
+                                          {"mesh_height", "8"}}));
 }
 
 TEST(Sweep, CacheGeometryKnobsAreSweepable) {

@@ -144,6 +144,47 @@ TEST(ParamSchema, BindRejectsUnknownKeysAndBadValues) {
   EXPECT_THROW(s.bind({{"size", "banana"}}), std::invalid_argument);
 }
 
+TEST(ParamSchema, CrossFieldConstraintEnforcedAtBind) {
+  ParamSchema s;
+  s.u64("kept", 2, "nonzeros kept", 1, 64);
+  s.u64("group", 4, "group size", 1, 64);
+  s.constrain("kept <= group", [](const ParamSet& p) {
+    return p.u64("kept") <= p.u64("group");
+  });
+  EXPECT_NO_THROW(s.bind({{"kept", "4"}, {"group", "4"}}));
+  // The diagnostic names the violated rule.
+  try {
+    s.bind({{"kept", "8"}, {"group", "4"}});
+    FAIL() << "expected a constraint violation";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("kept <= group"),
+              std::string::npos);
+  }
+  // Constraints see defaults too: an explicit value clashing with a
+  // defaulted one is caught.
+  EXPECT_THROW(s.bind({{"kept", "8"}}), std::invalid_argument);
+  EXPECT_NO_THROW(s.defaults());
+}
+
+TEST(ParamSchema, MergeCopiesConstraints) {
+  ParamSchema a;
+  a.u64("lo", 1, "lower", 0, 100);
+  a.u64("hi", 2, "upper", 0, 100);
+  a.constrain("lo <= hi", [](const ParamSet& p) {
+    return p.u64("lo") <= p.u64("hi");
+  });
+  ParamSchema b;
+  b.merge(a);
+  ASSERT_EQ(b.constraints().size(), 1u);
+  EXPECT_EQ(b.constraints()[0].rule, "lo <= hi");
+  EXPECT_THROW(b.bind({{"lo", "5"}, {"hi", "3"}}), std::invalid_argument);
+}
+
+TEST(ParamSchema, ConstraintNeedsAPredicate) {
+  ParamSchema s;
+  EXPECT_THROW(s.constrain("empty", nullptr), std::logic_error);
+}
+
 TEST(ParamSet, AccessorsThrowOnUndeclaredOrMistypedNames) {
   const ParamSet set = test_schema().defaults();
   EXPECT_THROW(set.u64("absent"), std::logic_error);

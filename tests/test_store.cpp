@@ -1,0 +1,598 @@
+// The campaign store (src/store/): fingerprints, the append-only binary
+// format and its torn-tail recovery, concurrent-writer serialization, and
+// the query/compare layer behind `macosim report`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "store/campaign_store.hpp"
+#include "store/fingerprint.hpp"
+#include "store/query.hpp"
+
+namespace maco::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+exp::Metric gflops(double value) {
+  return exp::Metric{"gflops", value, "GFLOP/s", true};
+}
+
+CampaignRecord make_record(const std::string& scenario,
+                           std::map<std::string, std::string> params,
+                           std::set<std::string> explicit_params,
+                           std::vector<exp::Metric> metrics,
+                           std::string error = {}) {
+  CampaignRecord record;
+  record.scenario = scenario;
+  record.params = std::move(params);
+  record.explicit_params = std::move(explicit_params);
+  record.metrics = std::move(metrics);
+  record.error = std::move(error);
+  record.schema_hash = 0xabcdefull;
+  record.wall_ms = 1.5;
+  record.fingerprint = record.computed_fingerprint();
+  return record;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+}
+
+// ---- fingerprints ----
+
+TEST(Fingerprint, CanonicalTextIsSortedAndMarksExplicitParams) {
+  const std::string text = canonical_point_text(
+      "gemm", {{"size", "512"}, {"nodes", "4"}}, {"size"});
+  EXPECT_EQ(text, "gemm\nnodes=4\nsize=512!\n");
+}
+
+TEST(Fingerprint, MetacharactersInValuesCannotForgeIdentities) {
+  // A value ending in '!' must not alias the explicitness marker...
+  EXPECT_NE(point_fingerprint("s", {{"k", "v!"}}, {}),
+            point_fingerprint("s", {{"k", "v"}}, {"k"}));
+  // ...and embedded '\n'/'=' must not forge extra key=value lines.
+  EXPECT_NE(point_fingerprint("s", {{"k", "v\nx=1"}}, {}),
+            point_fingerprint("s", {{"k", "v"}, {"x", "1"}}, {}));
+  EXPECT_NE(point_fingerprint("s", {{"k", "a=b"}}, {}),
+            point_fingerprint("s", {{"k=a", "b"}}, {}));
+  // Escaping round-trips: equal inputs still hash equal.
+  EXPECT_EQ(point_fingerprint("s", {{"k", "a\\!b"}}, {}),
+            point_fingerprint("s", {{"k", "a\\!b"}}, {}));
+}
+
+TEST(Fingerprint, ExplicitnessIsPartOfTheIdentity) {
+  // `nodes` explicitly 16 and `nodes` defaulted to 16 can behave
+  // differently (the default follows node_count), so they must not share a
+  // fingerprint.
+  const std::map<std::string, std::string> params = {{"nodes", "16"}};
+  EXPECT_NE(point_fingerprint("gemm", params, {"nodes"}),
+            point_fingerprint("gemm", params, {}));
+}
+
+TEST(Fingerprint, IgnoredKeysDropOutOfTheIdentity) {
+  const std::map<std::string, std::string> a = {{"size", "512"},
+                                                {"dram_efficiency", "0.72"}};
+  const std::map<std::string, std::string> b = {{"size", "512"},
+                                                {"dram_efficiency", "0.3"}};
+  EXPECT_NE(point_fingerprint("gemm", a, {}), point_fingerprint("gemm", b, {}));
+  EXPECT_EQ(point_fingerprint("gemm", a, {}, {"dram_efficiency"}),
+            point_fingerprint("gemm", b, {}, {"dram_efficiency"}));
+}
+
+TEST(Fingerprint, SchemaDigestTracksDeclarationsAndConstraints) {
+  exp::ParamSchema a;
+  a.u64("size", 4096, "dim", 1, 65536);
+  exp::ParamSchema same;
+  same.u64("size", 4096, "dim", 1, 65536);
+  EXPECT_EQ(schema_digest(a), schema_digest(same));
+
+  exp::ParamSchema wider;
+  wider.u64("size", 4096, "dim", 1, 1048576);
+  EXPECT_NE(schema_digest(a), schema_digest(wider));
+
+  exp::ParamSchema constrained;
+  constrained.u64("size", 4096, "dim", 1, 65536);
+  constrained.constrain("size even",
+                        [](const exp::ParamSet&) { return true; });
+  EXPECT_NE(schema_digest(a), schema_digest(constrained));
+}
+
+// ---- record serialization ----
+
+TEST(Record, EncodeDecodeRoundTripsEveryField) {
+  const CampaignRecord record = make_record(
+      "ext_sparsity", {{"kept", "2"}, {"group", "4"}, {"note", "a,\"b\"\n"}},
+      {"kept"},
+      {{"speedup", 1.875, "x", true},
+       {"sparse_cycles", 1.0e12, "cycles", false}},
+      "tile 3 failed: \"overflow\"");
+  const CampaignRecord decoded = decode_record(encode_record(record));
+  EXPECT_EQ(decoded.fingerprint, record.fingerprint);
+  EXPECT_EQ(decoded.schema_hash, record.schema_hash);
+  EXPECT_EQ(decoded.scenario, record.scenario);
+  EXPECT_EQ(decoded.params, record.params);
+  EXPECT_EQ(decoded.explicit_params, record.explicit_params);
+  ASSERT_EQ(decoded.metrics.size(), 2u);
+  EXPECT_EQ(decoded.metrics[0].name, "speedup");
+  EXPECT_DOUBLE_EQ(decoded.metrics[0].value, 1.875);
+  EXPECT_EQ(decoded.metrics[0].unit, "x");
+  EXPECT_TRUE(decoded.metrics[0].higher_is_better);
+  EXPECT_FALSE(decoded.metrics[1].higher_is_better);
+  EXPECT_EQ(decoded.error, record.error);
+  EXPECT_DOUBLE_EQ(decoded.wall_ms, record.wall_ms);
+}
+
+TEST(Record, DecodeRejectsTruncatedPayloads) {
+  const std::string payload = encode_record(
+      make_record("gemm", {{"size", "512"}}, {"size"}, {gflops(80.0)}));
+  for (const std::size_t keep : {payload.size() - 1, payload.size() / 2,
+                                 std::size_t{3}, std::size_t{0}}) {
+    EXPECT_THROW(decode_record(payload.substr(0, keep)),
+                 std::runtime_error)
+        << "kept " << keep << " of " << payload.size();
+  }
+  EXPECT_THROW(decode_record(payload + "x"), std::runtime_error);
+}
+
+// ---- the store file ----
+
+TEST(CampaignStore, AppendReopenRoundTrip) {
+  const std::string path = temp_path("store_roundtrip.mdb");
+  std::remove(path.c_str());
+  const CampaignRecord a = make_record("gemm", {{"size", "512"}}, {"size"},
+                                       {gflops(80.0)});
+  const CampaignRecord b = make_record("gemm", {{"size", "1024"}}, {"size"},
+                                       {gflops(320.0)});
+  const CampaignRecord failed =
+      make_record("gemm", {{"size", "2048"}}, {"size"}, {}, "boom");
+  {
+    CampaignStore db(path);
+    EXPECT_EQ(db.size(), 0u);
+    db.append(a);
+    db.append(b);
+    db.append(failed);
+    EXPECT_TRUE(db.contains(a.fingerprint, a.schema_hash));
+  }
+  CampaignStore db(path);
+  EXPECT_EQ(db.recovered_dropped_bytes(), 0u);
+  ASSERT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.records()[1].params.at("size"), "1024");
+  EXPECT_TRUE(db.contains(a.fingerprint, a.schema_hash));
+  // Wrong schema hash => no resume hit.
+  EXPECT_FALSE(db.contains(a.fingerprint, a.schema_hash + 1));
+  // Failed points are recorded but never satisfy resume lookups.
+  EXPECT_FALSE(db.contains(failed.fingerprint, failed.schema_hash));
+  CampaignRecord copy;
+  ASSERT_TRUE(db.lookup(b.fingerprint, b.schema_hash, copy));
+  ASSERT_EQ(copy.metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(copy.metrics[0].value, 320.0);
+}
+
+TEST(CampaignStore, SchemaVersionsDoNotShadowEachOther) {
+  // The same point recorded under two schema versions: rolling back to
+  // the first schema must still hit its record instead of re-running the
+  // whole campaign every time the version alternates.
+  const std::string path = temp_path("store_twoschemas.mdb");
+  std::remove(path.c_str());
+  CampaignStore db(path);
+  CampaignRecord under_a = make_record("gemm", {{"size", "512"}}, {"size"},
+                                       {gflops(80.0)});
+  CampaignRecord under_b = under_a;
+  under_b.schema_hash = under_a.schema_hash + 1;
+  db.append(under_a);
+  db.append(under_b);
+  EXPECT_TRUE(db.contains(under_a.fingerprint, under_a.schema_hash));
+  EXPECT_TRUE(db.contains(under_b.fingerprint, under_b.schema_hash));
+  const CampaignRecord* found =
+      db.find(under_a.fingerprint, under_a.schema_hash);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->schema_hash, under_a.schema_hash);
+}
+
+TEST(CampaignStore, FindPrefersTheLatestRecord) {
+  const std::string path = temp_path("store_latest.mdb");
+  std::remove(path.c_str());
+  CampaignStore db(path);
+  CampaignRecord first = make_record("gemm", {{"size", "512"}}, {"size"},
+                                     {gflops(80.0)});
+  CampaignRecord second = first;
+  second.metrics[0].value = 90.0;
+  db.append(first);
+  db.append(second);
+  const CampaignRecord* found = db.find(first.fingerprint,
+                                        first.schema_hash);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->metrics[0].value, 90.0);
+}
+
+TEST(CampaignStore, AppendRejectsMismatchedFingerprint) {
+  const std::string path = temp_path("store_badfp.mdb");
+  std::remove(path.c_str());
+  CampaignStore db(path);
+  CampaignRecord record = make_record("gemm", {{"size", "512"}}, {"size"},
+                                      {gflops(80.0)});
+  record.fingerprint ^= 1;
+  EXPECT_THROW(db.append(record), std::logic_error);
+}
+
+TEST(CampaignStore, RejectsForeignFilesAndMissingReadOnlyStores) {
+  const std::string path = temp_path("store_foreign.mdb");
+  write_file(path, "definitely,not,a,campaign,store\n1,2,3\n");
+  EXPECT_THROW(CampaignStore db(path), std::runtime_error);
+  EXPECT_THROW(
+      CampaignStore db(temp_path("store_nonexistent.mdb"),
+                       CampaignStore::Mode::kReadOnly),
+      std::runtime_error);
+}
+
+TEST(CampaignStore, ReadOnlyStoreRefusesAppends) {
+  const std::string path = temp_path("store_readonly.mdb");
+  std::remove(path.c_str());
+  const CampaignRecord record = make_record(
+      "gemm", {{"size", "512"}}, {"size"}, {gflops(80.0)});
+  { CampaignStore(path).append(record); }
+  CampaignStore db(path, CampaignStore::Mode::kReadOnly);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_THROW(db.append(record), std::runtime_error);
+}
+
+TEST(CampaignStore, RecoversEveryTruncationPointMidRecord) {
+  // A campaign killed mid-write must recover every complete record no
+  // matter where in the in-flight frame the cut lands.
+  const std::string path = temp_path("store_truncate.mdb");
+  std::remove(path.c_str());
+  {
+    CampaignStore db(path);
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                          {gflops(80.0)}));
+    db.append(make_record("gemm", {{"size", "1024"}}, {"size"},
+                          {gflops(320.0)}));
+  }
+  const std::string intact = read_file(path);
+  // A sibling store holding only record one marks where record two's frame
+  // begins.
+  const std::size_t after_first = [&] {
+    const std::string one = temp_path("store_truncate_one.mdb");
+    std::remove(one.c_str());
+    CampaignStore db(one);
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                          {gflops(80.0)}));
+    return read_file(one).size();
+  }();
+  ASSERT_GT(intact.size(), after_first);
+
+  const std::string cut_path = temp_path("store_truncate_cut.mdb");
+  for (std::size_t cut = after_first + 1; cut < intact.size(); ++cut) {
+    write_file(cut_path, intact.substr(0, cut));
+    CampaignStore recovered(cut_path);
+    ASSERT_EQ(recovered.size(), 1u) << "cut at byte " << cut;
+    EXPECT_EQ(recovered.records()[0].params.at("size"), "512");
+    EXPECT_EQ(recovered.recovered_dropped_bytes(), cut - after_first);
+    // The torn tail was truncated away: appending now yields a clean
+    // two-record store.
+    recovered.append(make_record("gemm", {{"size", "4096"}}, {"size"},
+                                 {gflops(1000.0)}));
+    CampaignStore reread(cut_path, CampaignStore::Mode::kReadOnly);
+    ASSERT_EQ(reread.size(), 2u) << "cut at byte " << cut;
+    EXPECT_EQ(reread.records()[1].params.at("size"), "4096");
+    EXPECT_EQ(reread.recovered_dropped_bytes(), 0u);
+  }
+}
+
+TEST(CampaignStore, ReadOnlyRecoveryLeavesTheFileUntouched) {
+  const std::string path = temp_path("store_ro_torn.mdb");
+  std::remove(path.c_str());
+  {
+    CampaignStore db(path);
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                          {gflops(80.0)}));
+  }
+  const std::string torn = read_file(path) + "torn-tail-bytes";
+  write_file(path, torn);
+  CampaignStore db(path, CampaignStore::Mode::kReadOnly);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_GT(db.recovered_dropped_bytes(), 0u);
+  EXPECT_EQ(read_file(path).size(), torn.size());
+}
+
+TEST(CampaignStore, CorruptChecksumDropsTheTail) {
+  const std::string path = temp_path("store_corrupt.mdb");
+  std::remove(path.c_str());
+  {
+    CampaignStore db(path);
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                          {gflops(80.0)}));
+    db.append(make_record("gemm", {{"size", "1024"}}, {"size"},
+                          {gflops(320.0)}));
+  }
+  std::string contents = read_file(path);
+  contents[contents.size() - 12] ^= 0x5a;  // inside record 2's payload
+  write_file(path, contents);
+  CampaignStore db(path);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_GT(db.recovered_dropped_bytes(), 0u);
+}
+
+TEST(CampaignStore, ConcurrentWritersSerializeCleanly) {
+  const std::string path = temp_path("store_concurrent.mdb");
+  std::remove(path.c_str());
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPerThread = 25;
+  {
+    CampaignStore db(path);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&db, t] {
+        for (unsigned i = 0; i < kPerThread; ++i) {
+          const std::string size =
+              std::to_string(1000u * (t + 1) + i);
+          db.append(make_record("gemm", {{"size", size}}, {"size"},
+                                {gflops(1.0 * t + i)}));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(db.size(), kThreads * kPerThread);
+  }
+  CampaignStore db(path);
+  EXPECT_EQ(db.recovered_dropped_bytes(), 0u);
+  ASSERT_EQ(db.size(), kThreads * kPerThread);
+  // Every append must be present and intact exactly once.
+  std::set<std::string> sizes;
+  for (const CampaignRecord& record : db.records()) {
+    EXPECT_TRUE(sizes.insert(record.params.at("size")).second);
+  }
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (unsigned i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(sizes.count(std::to_string(1000u * (t + 1) + i)), 1u);
+    }
+  }
+}
+
+TEST(CampaignStore, CreatesMissingParentDirectories) {
+  const std::string dir = temp_path("store_nested");
+  fs::remove_all(dir);
+  const std::string path = dir + "/deep/campaign.mdb";
+  CampaignStore db(path);
+  db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                        {gflops(80.0)}));
+  EXPECT_TRUE(fs::exists(path));
+  fs::remove_all(dir);
+}
+
+// ---- query / report ----
+
+std::vector<const CampaignRecord*> pointers(
+    const std::vector<CampaignRecord>& records) {
+  std::vector<const CampaignRecord*> result;
+  for (const CampaignRecord& record : records) result.push_back(&record);
+  return result;
+}
+
+std::vector<CampaignRecord> sample_campaign() {
+  std::vector<CampaignRecord> records;
+  for (const char* size : {"512", "1024"}) {
+    for (const char* nodes : {"1", "16"}) {
+      records.push_back(make_record(
+          "gemm",
+          {{"size", size}, {"nodes", nodes}, {"precision", "fp64"}},
+          {"size", "nodes"},
+          {{"gflops", 80.0 * std::stod(nodes), "GFLOP/s", true},
+           {"makespan_ms", 3.0 / std::stod(nodes), "ms", false}}));
+    }
+  }
+  return records;
+}
+
+TEST(Query, SelectFiltersByParamAndScenario) {
+  const std::vector<CampaignRecord> records = sample_campaign();
+  EXPECT_EQ(select(records, {}).size(), 4u);
+  EXPECT_EQ(select(records, {{"nodes", "16"}}).size(), 2u);
+  EXPECT_EQ(select(records, {{"nodes", "16"}, {"size", "512"}}).size(), 1u);
+  EXPECT_EQ(select(records, {{"scenario", "gemm"}}).size(), 4u);
+  EXPECT_EQ(select(records, {{"scenario", "hpl"}}).size(), 0u);
+  EXPECT_EQ(select(records, {{"no_such_key", "1"}}).size(), 0u);
+}
+
+TEST(Query, BuildTableSplitsFixedAndVaryingParams) {
+  const std::vector<CampaignRecord> records = sample_campaign();
+  const CampaignTable table = build_table(pointers(records));
+  // precision never varies; size and nodes do.
+  EXPECT_EQ(table.fixed_params.at("precision"), "fp64");
+  EXPECT_EQ(table.param_columns,
+            (std::vector<std::string>{"nodes", "size"}));
+  ASSERT_EQ(table.metric_columns.size(), 2u);
+  EXPECT_EQ(table.metric_columns[0].name, "gflops");
+  EXPECT_FALSE(table.metric_columns[1].higher_is_better);
+  EXPECT_EQ(table.rows.size(), 4u);
+
+  const CampaignTable only_gflops =
+      build_table(pointers(records), {"gflops"});
+  ASSERT_EQ(only_gflops.metric_columns.size(), 1u);
+  EXPECT_EQ(only_gflops.metric_columns[0].name, "gflops");
+}
+
+TEST(Query, WritesCsvJsonAndMarkdown) {
+  const std::vector<CampaignRecord> records = sample_campaign();
+  const CampaignTable table = build_table(pointers(records));
+
+  std::ostringstream csv;
+  write_table(csv, table, ReportFormat::kCsv);
+  // Header carries fixed params first, then varying, then metrics.
+  EXPECT_EQ(csv.str().rfind(
+                "precision,nodes,size,gflops,makespan_ms,error\n", 0),
+            0u);
+  EXPECT_NE(csv.str().find("\nfp64,16,512,1280,0.1875,\n"),
+            std::string::npos);
+
+  std::ostringstream json;
+  write_table(json, table, ReportFormat::kJson);
+  EXPECT_NE(json.str().find("\"fixed_params\":{\"precision\":\"fp64\"}"),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"gflops\":1280"), std::string::npos);
+  EXPECT_NE(json.str().find("\"higher_is_better\":false"),
+            std::string::npos);
+
+  std::ostringstream md;
+  write_table(md, table, ReportFormat::kMarkdown);
+  EXPECT_NE(md.str().find("`precision=fp64`"), std::string::npos);
+  EXPECT_NE(md.str().find("| nodes | size |"), std::string::npos);
+  EXPECT_NE(md.str().find("| 1280 |"), std::string::npos);
+}
+
+TEST(Compare, FlagsInjectedRegressionDirectionAware) {
+  const std::vector<CampaignRecord> baseline = sample_campaign();
+  std::vector<CampaignRecord> current = sample_campaign();
+  // Inject: at size=1024/nodes=16, throughput drops 10% AND makespan (a
+  // lower-is-better metric) rises 10% — both must flag.
+  for (CampaignRecord& record : current) {
+    if (record.params.at("size") == "1024" &&
+        record.params.at("nodes") == "16") {
+      record.metrics[0].value *= 0.9;
+      record.metrics[1].value *= 1.1;
+    }
+  }
+  CompareOptions options;
+  options.tolerance = 0.02;
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(comparison.points.size(), 4u);
+  EXPECT_EQ(comparison.regressions(), 2u);
+  EXPECT_EQ(comparison.improvements(), 0u);
+  for (const PointComparison& point : comparison.points) {
+    const bool injected = point.current->params.at("size") == "1024" &&
+                          point.current->params.at("nodes") == "16";
+    for (const MetricDelta& delta : point.deltas) {
+      EXPECT_EQ(delta.regression, injected) << delta.metric;
+    }
+  }
+  // A looser tolerance swallows the 10% deltas.
+  options.tolerance = 0.15;
+  EXPECT_EQ(compare_campaigns(pointers(current), pointers(baseline),
+                              options)
+                .regressions(),
+            0u);
+}
+
+TEST(Compare, ImprovementsAndMissingPointsAreCounted) {
+  std::vector<CampaignRecord> baseline = sample_campaign();
+  std::vector<CampaignRecord> current = sample_campaign();
+  current[0].metrics[0].value *= 2.0;  // faster => improvement
+  baseline.pop_back();                 // one point missing from baseline
+  CompareOptions options;
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(comparison.points.size(), 3u);
+  EXPECT_EQ(comparison.regressions(), 0u);
+  EXPECT_EQ(comparison.improvements(), 1u);
+  EXPECT_EQ(comparison.current_only, 1u);
+  EXPECT_EQ(comparison.baseline_only, 0u);
+}
+
+TEST(Compare, IgnoreKeysMatchAcrossAnABKnob) {
+  // Two campaigns differing only in dram_efficiency: without --ignore they
+  // share no points; with it every point pairs up.
+  std::vector<CampaignRecord> baseline;
+  std::vector<CampaignRecord> current;
+  for (const char* size : {"512", "1024"}) {
+    baseline.push_back(make_record(
+        "gemm", {{"size", size}, {"dram_efficiency", "0.72"}},
+        {"size", "dram_efficiency"}, {gflops(100.0)}));
+    current.push_back(make_record(
+        "gemm", {{"size", size}, {"dram_efficiency", "0.3"}},
+        {"size", "dram_efficiency"}, {gflops(60.0)}));
+  }
+  CompareOptions options;
+  EXPECT_EQ(compare_campaigns(pointers(current), pointers(baseline),
+                              options)
+                .points.size(),
+            0u);
+  options.ignore = {"dram_efficiency"};
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(comparison.points.size(), 2u);
+  EXPECT_EQ(comparison.regressions(), 2u);
+}
+
+TEST(Compare, NonFiniteMetricValuesNeverPassAsOk) {
+  // A metric that degrades to NaN (0/0) or inf must flag, not read as
+  // "ok" because NaN comparisons are all false.
+  const std::vector<CampaignRecord> baseline = {make_record(
+      "gemm", {{"size", "512"}}, {"size"}, {gflops(100.0)})};
+  std::vector<CampaignRecord> current = {make_record(
+      "gemm", {{"size", "512"}}, {"size"},
+      {gflops(std::numeric_limits<double>::quiet_NaN())})};
+  const CampaignComparison nan_comparison = compare_campaigns(
+      pointers(current), pointers(baseline), CompareOptions{});
+  ASSERT_EQ(nan_comparison.points.size(), 1u);
+  EXPECT_EQ(nan_comparison.regressions(), 1u);
+  // Identical non-finite pairs count as unchanged.
+  std::vector<CampaignRecord> both_nan = {make_record(
+      "gemm", {{"size", "512"}}, {"size"},
+      {gflops(std::numeric_limits<double>::quiet_NaN())})};
+  EXPECT_EQ(compare_campaigns(pointers(both_nan), pointers(both_nan),
+                              CompareOptions{})
+                .regressions(),
+            0u);
+}
+
+TEST(Compare, IgnoreCollapseOfDistinctPointsIsCounted) {
+  // A store that itself sweeps the ignored knob: two distinct points
+  // collapse onto one reduced identity. They must be counted as excluded,
+  // not silently dropped.
+  std::vector<CampaignRecord> current;
+  for (const char* eff : {"0.3", "0.72"}) {
+    current.push_back(make_record(
+        "gemm", {{"size", "512"}, {"dram_efficiency", eff}},
+        {"size", "dram_efficiency"}, {gflops(100.0)}));
+  }
+  const std::vector<CampaignRecord> baseline = {make_record(
+      "gemm", {{"size", "512"}, {"dram_efficiency", "0.9"}},
+      {"size", "dram_efficiency"}, {gflops(100.0)})};
+  CompareOptions options;
+  options.ignore = {"dram_efficiency"};
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(comparison.points.size(), 1u);
+  EXPECT_EQ(comparison.current_collapsed, 1u);
+  EXPECT_EQ(comparison.baseline_collapsed, 0u);
+  // A genuine re-run (same full fingerprint) supersedes without counting
+  // as a collapse.
+  std::vector<CampaignRecord> rerun = {current[0], current[0]};
+  const CampaignComparison superseded = compare_campaigns(
+      pointers(rerun), pointers(baseline), options);
+  EXPECT_EQ(superseded.current_collapsed, 0u);
+}
+
+TEST(Compare, ErrorRecordsNeverMatch) {
+  std::vector<CampaignRecord> baseline = {
+      make_record("gemm", {{"size", "512"}}, {"size"}, {gflops(100.0)})};
+  std::vector<CampaignRecord> current = {
+      make_record("gemm", {{"size", "512"}}, {"size"}, {}, "boom")};
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), CompareOptions{});
+  EXPECT_EQ(comparison.points.size(), 0u);
+  EXPECT_EQ(comparison.baseline_only, 1u);
+}
+
+}  // namespace
+}  // namespace maco::store
