@@ -9,9 +9,11 @@
 #include <iostream>
 
 #include "core/config.hpp"
+#include "core/detailed_runner.hpp"
 #include "cpu/mtq.hpp"
 #include "driver/hardware_knobs.hpp"
 #include "isa/encoding.hpp"
+#include "sampling/estimator.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -142,6 +144,26 @@ void appendix_sweepable_knobs() {
   std::puts("");
 }
 
+// Appendix: the fidelity ladder behind `--set fidelity=...`, with the
+// governing limits quoted from the implementation constants so this table
+// can never drift from what the backends actually enforce.
+void appendix_fidelity_ladder() {
+  std::puts("Appendix: execution fidelities (macosim --set fidelity=...)");
+  std::puts(
+      "  analytic  closed forms + contention models; any shape,\n"
+      "            microseconds per point");
+  std::printf(
+      "  detailed  flit-level MacoSystem end to end; independent GEMMs,\n"
+      "            each dimension <= %llu\n",
+      static_cast<unsigned long long>(maco::core::kDetailedMaxDim));
+  std::printf(
+      "  sampled   stratified tile sampling on the detailed machine; any\n"
+      "            shape, cooperative + multi-layer, error bars = 1.96 SE\n"
+      "            + %.0f%% model margin (see src/sampling/estimator.hpp)\n",
+      100.0 * maco::sampling::kModelMarginFrac);
+  std::puts("");
+}
+
 }  // namespace
 
 int main() {
@@ -149,5 +171,6 @@ int main() {
   table2_mpais_instructions();
   table3_mtq_entry();
   appendix_sweepable_knobs();
+  appendix_fidelity_ladder();
   return 0;
 }

@@ -10,7 +10,13 @@
 // Detailed runs are orders of magnitude slower than the closed forms, so
 // the entry point enforces the analytic-only knobs and a size cap with
 // typed diagnostics instead of silently mis-modeling or running for hours.
+// Beyond the cap, run_detailed_tiles executes an arbitrary subset of
+// first-level tiles (each a small GEMM task) — the measurement primitive of
+// the fidelity=sampled estimator in src/sampling/, which lifts the cap by
+// simulating a stratified sample of the tile grid instead of all of it.
 #pragma once
+
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/timing_model.hpp"
@@ -26,5 +32,45 @@ inline constexpr std::uint64_t kDetailedMaxDim = 2048;
 // tlb/overlap baseline overrides, a dimension beyond kDetailedMaxDim).
 SystemTiming run_detailed_gemm(const SystemConfig& config,
                                const TimingOptions& options);
+
+// One first-level tile to execute as its own GEMM task. The in-page byte
+// offsets reproduce where the tile's operand sub-blocks would start inside
+// the full matrices, so translation behaviour (page touches, sTLB/mATLB
+// hits) varies with tile position exactly as it would in a monolithic run.
+struct DetailedTileJob {
+  sa::TileShape shape;
+  std::uint64_t a_page_offset = 0;  // bytes, < 4 KiB, 8-byte aligned
+  std::uint64_t b_page_offset = 0;
+  std::uint64_t c_page_offset = 0;
+  std::uint64_t data_seed = 0;      // operand RNG stream
+  // Identical tasks issued (and discarded) before the measured one, so the
+  // measurement sees warm TLB/PTW/L3 state — the steady state an interior
+  // tile of a long mapped run executes in (the stash+lock discipline keeps
+  // panels L3-resident between tiles).
+  unsigned warmup_tasks = 1;
+};
+
+// What the measured (post-warmup) task of one tile job reported.
+struct DetailedTileMeasurement {
+  sim::TimePs span_ps = 0;               // steady-state task span
+  sim::TimePs sa_busy_ps = 0;
+  sim::TimePs translation_stall_ps = 0;
+  std::uint64_t macs = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t blocking_walks = 0;
+  std::uint64_t matlb_hits = 0;
+};
+
+// Executes an arbitrary set of tile GEMMs on the detailed system and
+// returns one measurement per job, in job order. Jobs run `concurrent` at
+// a time (one per node of a fresh MacoSystem instantiation, so co-scheduled
+// tiles contend for the NoC/CCM/DRAM like a real mapped run); `workers`
+// batches may be simulated on parallel host threads (each batch owns its
+// system — nothing is shared). Throws std::invalid_argument on unsupported
+// options or a tile dimension beyond kDetailedMaxDim.
+std::vector<DetailedTileMeasurement> run_detailed_tiles(
+    const SystemConfig& config, const TimingOptions& options,
+    const std::vector<DetailedTileJob>& jobs, unsigned concurrent = 1,
+    unsigned workers = 1);
 
 }  // namespace maco::core

@@ -52,6 +52,14 @@ struct TimingOptions {
   bool pte_always_cold = false;  // standalone walker, no PWC (stress case)
   bool pte_walks_warm = false;   // walks ride the host MMU's page-walk
                                  // caches (in-core / host-PTW engines)
+
+  // fidelity=sampled knobs (read only by the sampled estimator; the other
+  // backends ignore them, so a fidelity sweep can carry them harmlessly).
+  double sample_frac = 0.05;      // fraction of each stratum simulated
+  std::uint64_t sample_seed = 1;  // stratified-draw seed (deterministic)
+  double ci_target = 0.0;         // >0: adaptive sampling until the relative
+                                  // 95% statistical CI half-width <= target
+  unsigned sample_workers = 1;    // concurrent tile-batch simulations
 };
 
 struct TranslationEstimate {
@@ -70,12 +78,30 @@ struct NodeTiming {
   double gflops = 0.0;
 };
 
+// Statistical qualifiers a sampled-fidelity estimate carries alongside the
+// point values; sampled_tiles == 0 on exhaustive (analytic/detailed) runs.
+struct SamplingStats {
+  std::uint64_t total_tiles = 0;    // tile-space size of the estimation
+  std::uint64_t sampled_tiles = 0;  // tiles actually simulated
+  std::uint64_t strata = 0;         // position/layer classes
+  double makespan_se_ps = 0.0;      // standard error of makespan_ps
+  double makespan_ci95_ps = 0.0;    // 95% half-width (statistical + model
+                                    // margin; see sampling/estimator.hpp)
+
+  bool present() const noexcept { return sampled_tiles > 0; }
+  double rel_ci95(double makespan_ps_value) const noexcept {
+    return makespan_ps_value > 0.0 ? makespan_ci95_ps / makespan_ps_value
+                                   : 0.0;
+  }
+};
+
 struct SystemTiming {
   std::vector<NodeTiming> nodes;
   double mean_efficiency = 0.0;  // average per-node efficiency (Fig. 7 y-axis)
   double total_gflops = 0.0;     // aggregate throughput (Fig. 8 y-axis)
   sim::TimePs makespan_ps = 0;
   TranslationEstimate translation;
+  SamplingStats sampling;        // fidelity=sampled only
 };
 
 class SystemTimingModel {

@@ -188,10 +188,55 @@ CliParse parse_report_cli(const std::vector<std::string>& args) {
   return result;
 }
 
+// `macosim store compact --store FILE`: maintenance of long-lived
+// campaign stores.
+CliParse parse_store_cli(const std::vector<std::string>& args) {
+  CliParse result;
+  CliOptions& options = result.options;
+  options.command = CliCommand::kStoreCompact;
+
+  if (args.size() < 2 || (args[1] != "compact" && args[1] != "--help" &&
+                          args[1] != "-h")) {
+    result.error = "store wants a subcommand: macosim store compact "
+                   "--store FILE";
+    return result;
+  }
+  if (args[1] == "--help" || args[1] == "-h") {
+    options.show_help = true;
+    result.ok = true;
+    return result;
+  }
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      options.quiet = true;
+    } else if (arg == "--store") {
+      if (i + 1 >= args.size()) {
+        result.error = "missing value after --store";
+        return result;
+      }
+      options.store_path = args[++i];
+    } else {
+      result.error = "unknown store compact argument '" + arg +
+                     "' (see macosim store --help)";
+      return result;
+    }
+  }
+  if (!options.show_help && options.store_path.empty()) {
+    result.error = "store compact needs --store FILE";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 CliParse parse_cli(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "report") return parse_report_cli(args);
+  if (!args.empty() && args[0] == "store") return parse_store_cli(args);
 
   CliParse result;
   CliOptions& options = result.options;
@@ -341,6 +386,7 @@ std::string usage() {
          "usage: macosim --scenario NAME [options]\n"
          "       macosim --list-scenarios\n"
          "       macosim report --store FILE [report options]\n"
+         "       macosim store compact --store FILE\n"
          "\n"
          "options:\n"
          "  --scenario NAME        scenario to run (see --list-scenarios)\n"
@@ -377,13 +423,22 @@ std::string usage() {
          "  --format FMT           table (default), csv, json or md\n"
          "  --output FILE          write the report to FILE\n"
          "\n"
+         "store maintenance:\n"
+         "  macosim store compact --store FILE\n"
+         "                         rewrite the store keeping only the\n"
+         "                         latest record per point (drops\n"
+         "                         superseded re-run and error records)\n"
+         "\n"
          "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
          "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"
          "dram_efficiency, l2_kib, l3_slice_kib, stlb_entries,\n"
          "dma_outstanding). Every value is validated against the typed\n"
          "schema before any run starts. Scenarios supporting it accept\n"
-         "fidelity=analytic|detailed to choose between the analytic timing\n"
-         "model and the detailed flit-level MacoSystem.\n"
+         "fidelity=analytic|detailed|sampled: the analytic timing model,\n"
+         "the detailed flit-level MacoSystem (<= 2048 per dimension), or\n"
+         "the sampled estimator (detailed fidelity at any scale via\n"
+         "stratified tile sampling, with *_ci95 error-bar columns; knobs\n"
+         "sample_frac, sample_seed, ci_target, sample_workers).\n"
          "\n"
          "examples:\n"
          "  macosim --scenario gemm --sweep nodes=1,4,16 \\\n"

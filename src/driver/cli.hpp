@@ -10,6 +10,7 @@
 //   macosim --scenario gemm --sweep size=1024,4096 --store campaign.mdb
 //   macosim report --store campaign.mdb --where nodes=16
 //   macosim report --store new.mdb --compare baseline.mdb --tolerance 0.05
+//   macosim store compact --store campaign.mdb
 //
 // Parsing is pure (no I/O, no exit()) so tests can drive it directly.
 #pragma once
@@ -28,8 +29,9 @@ struct SweepAxis {
 };
 
 enum class CliCommand {
-  kSweep,   // the default: run/sweep one scenario
-  kReport,  // query/compare a campaign store
+  kSweep,         // the default: run/sweep one scenario
+  kReport,        // query/compare a campaign store
+  kStoreCompact,  // rewrite a store keeping the latest record per point
 };
 
 struct CliOptions {

@@ -56,6 +56,11 @@ void list_scenarios(const driver::ScenarioRegistry& registry) {
       params << "[" << constraint.rule << "]";
       first = false;
     }
+    for (const driver::CrossRule& rule : scenario.cross_rules) {
+      if (!first) params << "  ";
+      params << "[" << rule.rule << "]";
+      first = false;
+    }
     t.row().cell(scenario.name).cell(params.str()).cell(
         scenario.description);
   }
@@ -219,6 +224,23 @@ int run_report(const driver::CliOptions& options) {
   return 0;
 }
 
+// The `store compact` subcommand. Exit codes: 0 ok, 2 usage/IO error.
+int run_store_compact(const driver::CliOptions& options) {
+  try {
+    const store::CampaignStore::CompactionResult result =
+        store::CampaignStore::compact(options.store_path);
+    if (!options.quiet) {
+      std::cout << "store '" << options.store_path << "': kept "
+                << result.kept << " record(s), dropped " << result.dropped
+                << " superseded record(s)\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +257,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == driver::CliCommand::kReport) {
     return run_report(options);
+  }
+  if (options.command == driver::CliCommand::kStoreCompact) {
+    return run_store_compact(options);
   }
 
   const driver::ScenarioRegistry registry =

@@ -39,17 +39,58 @@ void declare_nodes(exp::ParamSchema& s, const char* description) {
   s.u64("nodes", 16, description, 1, 64);
 }
 
+// The cross-schema companion of declare_nodes: an explicitly-set `nodes`
+// must fit the instantiated hardware (unset `nodes` follows node_count, so
+// it can never violate the rule). Declared, checked per point by the sweep
+// runner and printed by --list-scenarios — the historic silent clamp in
+// active_nodes_from under-reported what the user asked for.
+CrossRule nodes_fit_hardware_rule() {
+  return CrossRule{
+      "nodes <= node_count",
+      [](const exp::ParamSet& scenario, const exp::ParamSet& hardware) {
+        return !scenario.was_set("nodes") ||
+               scenario.u64("nodes") <= hardware.u64("node_count");
+      }};
+}
+
 unsigned active_nodes_from(const ScenarioRequest& request) {
-  const std::uint64_t nodes = request.params.was_set("nodes")
-                                  ? request.params.u64("nodes")
-                                  : request.config.node_count;
-  return static_cast<unsigned>(
-      std::min<std::uint64_t>(nodes, request.config.node_count));
+  if (!request.params.was_set("nodes")) {
+    return request.config.node_count;
+  }
+  const std::uint64_t nodes = request.params.u64("nodes");
+  // Backstop for callers that build a ScenarioRequest directly; sweep
+  // points are rejected earlier by the declared `nodes <= node_count`
+  // cross rule.
+  if (nodes > request.config.node_count) {
+    throw std::invalid_argument(
+        "nodes " + std::to_string(nodes) + " exceeds node_count " +
+        std::to_string(request.config.node_count) +
+        " (raise --set node_count=... or lower nodes)");
+  }
+  return static_cast<unsigned>(nodes);
+}
+
+bool supports_sampled(const std::vector<std::string>& fidelities) {
+  return std::find(fidelities.begin(), fidelities.end(), "sampled") !=
+         fidelities.end();
+}
+
+// The fidelity=sampled estimator's knobs; declared by every scenario that
+// lists "sampled" among its fidelities.
+void declare_sampling_knobs(exp::ParamSchema& s) {
+  s.f64("sample_frac", 0.05, "tile fraction simulated per stratum "
+        "(fidelity=sampled)", 1e-9, 1.0);
+  s.u64("sample_seed", 1, "stratified-draw seed (fidelity=sampled)");
+  s.f64("ci_target", 0.0, "adaptive sampling until relative 95% CI <= "
+        "target; 0 disables (fidelity=sampled)", 0.0, 1.0);
+  s.u64("sample_workers", 1, "parallel tile-batch simulations "
+        "(fidelity=sampled)", 1, 64);
 }
 
 exp::ParamSchema timing_schema(const char* default_precision,
                                bool default_cooperative,
                                std::vector<std::string> fidelities) {
+  const bool sampled = supports_sampled(fidelities);
   exp::ParamSchema s;
   declare_nodes(s, "active compute nodes (defaults to node_count)");
   s.enumerant("precision", default_precision, precision_choices(),
@@ -63,7 +104,28 @@ exp::ParamSchema timing_schema(const char* default_precision,
   s.u64("page_bytes", 4096, "translation page size", 256, 1048576);
   s.enumerant("fidelity", "analytic", std::move(fidelities),
               "execution backend");
+  if (sampled) {
+    declare_sampling_knobs(s);
+    s.constrain("fidelity=sampled requires tile <= " +
+                    std::to_string(core::kDetailedMaxDim),
+                [](const exp::ParamSet& p) {
+                  return p.str("fidelity") != "sampled" ||
+                         p.u64("tile") <= core::kDetailedMaxDim;
+                });
+  }
   return s;
+}
+
+// Copies the declare_sampling_knobs values into TimingOptions; a no-op
+// for schemas without them (fidelity lists that exclude "sampled").
+void apply_sampling_knobs(core::TimingOptions& options,
+                          const exp::ParamSet& params) {
+  if (!params.has("sample_frac")) return;
+  options.sample_frac = params.f64("sample_frac");
+  options.sample_seed = params.u64("sample_seed");
+  options.ci_target = params.f64("ci_target");
+  options.sample_workers =
+      static_cast<unsigned>(params.u64("sample_workers"));
 }
 
 core::TimingOptions timing_options_from(const ScenarioRequest& request) {
@@ -77,6 +139,7 @@ core::TimingOptions timing_options_from(const ScenarioRequest& request) {
   options.tile_cols = options.tile_rows;
   options.inner = request.params.u64("inner");
   options.page_bytes = request.params.u64("page_bytes");
+  apply_sampling_knobs(options, request.params);
   return options;
 }
 
@@ -90,6 +153,27 @@ void add_system_metrics(ScenarioResult& result,
              /*higher_is_better=*/false);
   result.add("pages_per_tile", timing.translation.pages_per_tile, "",
              /*higher_is_better=*/false);
+  if (timing.sampling.present()) {
+    // Error-bar companions: metric X's 95% half-width is X_ci95, the
+    // convention store::compare_campaigns keys interval overlap on. The
+    // throughput/efficiency intervals follow from the makespan's relative
+    // width (both are exact-MAC counts divided by the estimated time).
+    const double rel =
+        timing.sampling.rel_ci95(static_cast<double>(timing.makespan_ps));
+    result.add("makespan_ms_ci95",
+               timing.sampling.makespan_ci95_ps / 1e9, "ms",
+               /*higher_is_better=*/false);
+    result.add("makespan_ms_se", timing.sampling.makespan_se_ps / 1e9,
+               "ms", /*higher_is_better=*/false);
+    result.add("gflops_ci95", rel * timing.total_gflops, "GFLOP/s",
+               /*higher_is_better=*/false);
+    result.add("mean_efficiency_ci95", rel * timing.mean_efficiency, "",
+               /*higher_is_better=*/false);
+    result.add("sampled_tiles",
+               static_cast<double>(timing.sampling.sampled_tiles));
+    result.add("total_tiles",
+               static_cast<double>(timing.sampling.total_tiles));
+  }
 }
 
 ScenarioResult run_workload_layers(const ScenarioRequest& request,
@@ -112,7 +196,7 @@ Scenario gemm_scenario() {
       "square GEMM on the full MACO system (independent per node by "
       "default, as Fig. 7)";
   s.schema = timing_schema("fp64", /*default_cooperative=*/false,
-                           {"analytic", "detailed"});
+                           {"analytic", "detailed", "sampled"});
   s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
   s.schema.constrain(
       "fidelity=detailed requires size <= " +
@@ -121,6 +205,7 @@ Scenario gemm_scenario() {
         return p.str("fidelity") != "detailed" ||
                p.u64("size") <= core::kDetailedMaxDim;
       });
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     core::TimingOptions options = timing_options_from(request);
@@ -142,9 +227,10 @@ Scenario hpl_scenario() {
       "HPL right-looking LU trailing-update GEMM sequence (FP64, "
       "cooperative)";
   s.schema = timing_schema("fp64", /*default_cooperative=*/true,
-                           {"analytic"});
+                           {"analytic", "sampled"});
   s.schema.u64("n", 16384, "LU problem size", 1, 1048576);
   s.schema.u64("nb", 256, "panel width", 1, 65535);
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     return run_workload_layers(
         request,
@@ -161,7 +247,8 @@ Scenario dnn_scenario(std::string name, std::string description,
   s.name = std::move(name);
   s.description = std::move(description);
   s.schema = timing_schema(default_precision, /*default_cooperative=*/true,
-                           {"analytic"});
+                           {"analytic", "sampled"});
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [make_workload = std::move(make_workload)](
               const ScenarioRequest& request) {
     return run_workload_layers(request, make_workload(request));
@@ -218,6 +305,7 @@ Scenario baselines_scenario() {
   s.schema.enumerant("precision", "fp32", precision_choices(),
                      "workload=gemm precision");
   declare_nodes(s.schema, "MACO node count (others are single-node)");
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     const baseline::Comparator comparator(request.config,
                                           active_nodes_from(request));
@@ -284,8 +372,10 @@ Scenario fig7_scenario() {
       "GEMM per node)";
   s.schema.u64("size", 4096, "square matrix dimension", 1, 1048576);
   declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
-  s.schema.enumerant("fidelity", "analytic", {"analytic", "detailed"},
+  s.schema.enumerant("fidelity", "analytic",
+                     {"analytic", "detailed", "sampled"},
                      "execution backend");
+  declare_sampling_knobs(s.schema);
   s.schema.constrain(
       "fidelity=detailed requires size <= " +
           std::to_string(core::kDetailedMaxDim),
@@ -293,6 +383,7 @@ Scenario fig7_scenario() {
         return p.str("fidelity") != "detailed" ||
                p.u64("size") <= core::kDetailedMaxDim;
       });
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -301,6 +392,7 @@ Scenario fig7_scenario() {
     options.precision = sa::Precision::kFp64;
     options.cooperative = false;
     options.active_nodes = active_nodes_from(request);
+    apply_sampling_knobs(options, request.params);
     const core::SystemTiming timing = backend->run(options);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
@@ -318,6 +410,7 @@ Scenario fig8_scenario() {
       "Fig. 8: five-system geomean over ResNet-50 + BERT + GPT-3 (FP32, 256 "
       "PEs)";
   declare_nodes(s.schema, "MACO node count");
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     const baseline::Comparator comparator(request.config,
                                           active_nodes_from(request));
@@ -360,6 +453,7 @@ Scenario ablation_scenario() {
   declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
   s.schema.enumerant("fidelity", "analytic", {"analytic"},
                      "execution backend");
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");

@@ -38,10 +38,24 @@ struct ScenarioRequest {
   std::unique_ptr<exp::ExecutionBackend> backend() const;
 };
 
+// A declarative constraint ACROSS the two schemas of a sweep point: the
+// scenario's parameters and the hardware knobs are bound separately, so a
+// rule relating them (e.g. `nodes <= node_count`) cannot live on either
+// ParamSchema alone. The sweep runner evaluates cross rules on every point
+// after both binds and fails the point with the rule text;
+// --list-scenarios prints them next to the schema's own constraints.
+struct CrossRule {
+  std::string rule;  // e.g. "nodes <= node_count"
+  std::function<bool(const exp::ParamSet& scenario,
+                     const exp::ParamSet& hardware)>
+      satisfied;
+};
+
 struct Scenario {
   std::string name;
   std::string description;
   exp::ParamSchema schema;
+  std::vector<CrossRule> cross_rules;  // scenario-vs-hardware constraints
   std::function<ScenarioResult(const ScenarioRequest&)> run;
   // A serial scenario never runs on more than one sweep worker at a time
   // (e.g. wall-clock micro-benches, whose numbers concurrency would skew).

@@ -142,6 +142,17 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
         const exp::ParamSet scenario_params =
             scenario->schema.bind(scenario_raw);
 
+        // Cross-schema rules relate the two ParamSets (neither schema can
+        // express them alone); a violation fails the point with the
+        // declared rule text before anything runs or is fingerprinted.
+        for (const CrossRule& rule : scenario->cross_rules) {
+          if (!rule.satisfied(scenario_params, hardware_params)) {
+            throw std::invalid_argument(
+                "scenario '" + scenario->name +
+                "' violates cross-schema constraint '" + rule.rule + "'");
+          }
+        }
+
         // The canonicalization and fingerprint hash only matter to the
         // campaign store; a store-less sweep skips that per-point work.
         store::CampaignRecord record;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/detailed_runner.hpp"
+#include "sampling/sampled_runner.hpp"
 
 namespace maco::exp {
 namespace {
@@ -115,12 +116,36 @@ class DetailedBackend final : public ExecutionBackend {
   core::SystemConfig config_;
 };
 
+class SampledBackend final : public ExecutionBackend {
+ public:
+  explicit SampledBackend(const core::SystemConfig& config)
+      : config_(config) {}
+
+  Fidelity fidelity() const noexcept override {
+    return Fidelity::kSampled;
+  }
+
+  core::SystemTiming run(const core::TimingOptions& options) override {
+    return sampling::run_sampled_gemm(config_, options);
+  }
+
+  core::SystemTiming run_layers(
+      const std::vector<sa::TileShape>& layers,
+      const core::TimingOptions& options) override {
+    return sampling::run_sampled_layers(config_, layers, options);
+  }
+
+ private:
+  core::SystemConfig config_;
+};
+
 }  // namespace
 
 std::string_view fidelity_name(Fidelity fidelity) noexcept {
   switch (fidelity) {
     case Fidelity::kAnalytic: return "analytic";
     case Fidelity::kDetailed: return "detailed";
+    case Fidelity::kSampled: return "sampled";
   }
   return "?";
 }
@@ -128,8 +153,9 @@ std::string_view fidelity_name(Fidelity fidelity) noexcept {
 Fidelity parse_fidelity(std::string_view name) {
   if (name == "analytic") return Fidelity::kAnalytic;
   if (name == "detailed") return Fidelity::kDetailed;
+  if (name == "sampled") return Fidelity::kSampled;
   throw std::invalid_argument("unknown fidelity '" + std::string(name) +
-                              "' (want analytic|detailed)");
+                              "' (want analytic|detailed|sampled)");
 }
 
 std::unique_ptr<ExecutionBackend> make_backend(
@@ -139,6 +165,8 @@ std::unique_ptr<ExecutionBackend> make_backend(
       return std::make_unique<AnalyticBackend>(config);
     case Fidelity::kDetailed:
       return std::make_unique<DetailedBackend>(config);
+    case Fidelity::kSampled:
+      return std::make_unique<SampledBackend>(config);
   }
   throw std::invalid_argument("unknown fidelity");
 }

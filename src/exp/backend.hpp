@@ -4,9 +4,12 @@
 // fidelity: `analytic` evaluates core::SystemTimingModel (closed forms +
 // contention models, paper-scale in microseconds), `detailed` executes the
 // GEMM end to end on core::MacoSystem with the flit-level mesh and real
-// data (small shapes only). Scenarios declare which fidelities they support
-// in their ParamSchema; the sweep runner selects the backend per point from
-// the `fidelity` parameter.
+// data (small shapes only), `sampled` simulates a seeded stratified sample
+// of the first-level tile grid on the same detailed machine and scales the
+// per-stratum means to full-workload estimates with confidence intervals
+// (src/sampling/ — paper-scale shapes, no size cap). Scenarios declare
+// which fidelities they support in their ParamSchema; the sweep runner
+// selects the backend per point from the `fidelity` parameter.
 #pragma once
 
 #include <memory>
@@ -18,7 +21,7 @@
 
 namespace maco::exp {
 
-enum class Fidelity { kAnalytic, kDetailed };
+enum class Fidelity { kAnalytic, kDetailed, kSampled };
 
 std::string_view fidelity_name(Fidelity fidelity) noexcept;
 // Throws std::invalid_argument on an unknown spelling.

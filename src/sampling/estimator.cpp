@@ -1,0 +1,272 @@
+#include "sampling/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sampling/sampler.hpp"
+
+namespace maco::sampling {
+namespace {
+
+// Accumulated observations of one stratum across adaptive rounds.
+struct StratumState {
+  const Stratum* stratum = nullptr;
+  StratumDraw draw;
+  std::vector<TileSample> samples;
+
+  StratumState(const Stratum& s, std::uint64_t seed)
+      : stratum(&s), draw(s, seed) {}
+
+  std::uint64_t n() const noexcept { return samples.size(); }
+  std::uint64_t population() const noexcept {
+    return stratum->population();
+  }
+
+  double mean_span() const noexcept { return mean(&TileSample::span_ps); }
+  // Unbiased sample variance of the tile span; 0 until two samples exist.
+  double var_span() const noexcept {
+    if (samples.size() < 2) return 0.0;
+    const double mu = mean_span();
+    double sum = 0.0;
+    for (const TileSample& s : samples) {
+      const double d = s.span_ps - mu;
+      sum += d * d;
+    }
+    return sum / static_cast<double>(samples.size() - 1);
+  }
+  double mean(double TileSample::* field) const noexcept {
+    if (samples.empty()) return 0.0;
+    double sum = 0.0;
+    for (const TileSample& s : samples) sum += s.*field;
+    return sum / static_cast<double>(samples.size());
+  }
+  // Variance contribution of this stratum to a total scaled by `count`
+  // tiles: count^2 * s^2/n * (1 - n/N), the stratified-sampling form with
+  // finite-population correction.
+  double total_variance(double count) const noexcept {
+    if (samples.size() < 2) return 0.0;
+    const double n = static_cast<double>(samples.size());
+    const double N = static_cast<double>(population());
+    const double fpc = std::max(0.0, 1.0 - n / N);
+    return count * count * var_span() / n * fpc;
+  }
+  bool can_grow(std::uint64_t cap) const noexcept {
+    return !draw.exhausted() && (cap == 0 || n() < cap);
+  }
+};
+
+// Per-node tile count of one stratum (the scaling factor of its mean):
+// independent mode replicates the whole grid on every node, cooperative
+// mode partitions the C-tile grid over the node grid.
+double node_count_of(const Stratum& stratum, const EstimateRequest& request,
+                     unsigned node) {
+  const double mult = static_cast<double>(stratum.multiplicity);
+  if (!request.cooperative) {
+    return static_cast<double>(stratum.count) * mult;
+  }
+  return static_cast<double>(cooperative_node_count(
+             stratum, request.active_nodes, node)) *
+         mult;
+}
+
+void measure_round(std::vector<StratumState>& states,
+                   const std::vector<std::pair<std::size_t, std::uint64_t>>&
+                       additions,
+                   const MeasureFn& measure) {
+  std::vector<TileRequest> requests;
+  for (const auto& [index, additional] : additions) {
+    for (const TileCoord& coord : states[index].draw.extend(additional)) {
+      requests.push_back(TileRequest{index, coord});
+    }
+  }
+  if (requests.empty()) return;
+  const std::vector<TileSample> samples = measure(requests);
+  if (samples.size() != requests.size()) {
+    throw std::logic_error("sampling measure callback returned " +
+                           std::to_string(samples.size()) + " sample(s) for " +
+                           std::to_string(requests.size()) + " request(s)");
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    states[requests[i].stratum].samples.push_back(samples[i]);
+  }
+}
+
+}  // namespace
+
+core::SystemTiming estimate_timing(const std::vector<Stratum>& strata,
+                                   const EstimateRequest& request,
+                                   const MeasureFn& measure) {
+  if (strata.empty()) {
+    throw std::invalid_argument("fidelity=sampled found no tile strata");
+  }
+  if (!(request.sample_frac > 0.0) || request.sample_frac > 1.0) {
+    throw std::invalid_argument(
+        "fidelity=sampled wants sample_frac in (0, 1]");
+  }
+  if (request.active_nodes == 0) {
+    throw std::invalid_argument("fidelity=sampled needs at least one node");
+  }
+
+  std::vector<StratumState> states;
+  states.reserve(strata.size());
+  for (const Stratum& stratum : strata) {
+    states.emplace_back(stratum, request.sample_seed);
+  }
+
+  // Initial allocation: proportional with a floor, one batched measure.
+  {
+    std::vector<std::pair<std::size_t, std::uint64_t>> additions;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      additions.emplace_back(
+          i, allocate_samples(states[i].stratum->count, request.sample_frac,
+                              request.min_samples, request.sample_cap));
+    }
+    measure_round(states, additions, measure);
+  }
+
+  // The makespan estimate (and its variance) under the current samples.
+  // Independent mode: every node runs the same tile population, so node 0
+  // is the critical path. Cooperative: the node with the largest estimate.
+  const auto makespan_of = [&](unsigned node, double& variance) {
+    double total = 0.0;
+    variance = 0.0;
+    for (const StratumState& state : states) {
+      const double count = node_count_of(*state.stratum, request, node);
+      total += count * state.mean_span();
+      variance += state.total_variance(count);
+    }
+    return total;
+  };
+  const auto critical_node = [&]() {
+    if (!request.cooperative) return 0u;
+    unsigned best = 0;
+    double best_span = -1.0;
+    double ignored = 0.0;
+    for (unsigned node = 0; node < request.active_nodes; ++node) {
+      const double span = makespan_of(node, ignored);
+      if (span > best_span) {
+        best_span = span;
+        best = node;
+      }
+    }
+    return best;
+  };
+
+  // Adaptive refinement: grow the stratum whose variance contribution to
+  // the critical path is largest until the relative statistical CI meets
+  // the target (or nothing can grow).
+  if (request.ci_target > 0.0) {
+    for (unsigned round = 0; round < request.max_rounds; ++round) {
+      const unsigned node = critical_node();
+      double variance = 0.0;
+      const double makespan = makespan_of(node, variance);
+      if (makespan <= 0.0) break;
+      const double rel_ci = 1.96 * std::sqrt(variance) / makespan;
+      if (rel_ci <= request.ci_target) break;
+
+      std::size_t best = states.size();
+      double best_contribution = 0.0;
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (!states[i].can_grow(request.sample_cap)) continue;
+        const double count =
+            node_count_of(*states[i].stratum, request, node);
+        const double contribution = states[i].total_variance(count);
+        if (best == states.size() || contribution > best_contribution) {
+          best = i;
+          best_contribution = contribution;
+        }
+      }
+      if (best == states.size() || best_contribution <= 0.0) break;
+      std::uint64_t additional =
+          std::max<std::uint64_t>(1, states[best].n() / 2);
+      if (request.sample_cap != 0) {
+        // can_grow guarantees headroom; the growth step must not blow
+        // through the cap that bounds the simulation bill.
+        additional =
+            std::min(additional, request.sample_cap - states[best].n());
+      }
+      measure_round(states, {{best, additional}}, measure);
+    }
+  }
+
+  // ---- assemble the full-workload SystemTiming ----
+  core::SystemTiming timing;
+  const unsigned nodes = request.active_nodes;
+  const unsigned critical = critical_node();
+  double critical_variance = 0.0;
+  const double critical_span = makespan_of(critical, critical_variance);
+
+  std::uint64_t total_macs = 0;
+  for (unsigned node = 0; node < nodes; ++node) {
+    core::NodeTiming node_timing;
+    double span = 0.0;
+    double compute = 0.0;
+    double stall = 0.0;
+    double macs = 0.0;
+    for (const StratumState& state : states) {
+      const double count = node_count_of(*state.stratum, request, node);
+      span += count * state.mean_span();
+      compute += count * state.mean(&TileSample::sa_busy_ps);
+      stall += count * state.mean(&TileSample::translation_stall_ps);
+      macs += count * static_cast<double>(state.stratum->tile_shape.macs());
+    }
+    node_timing.span_ps = static_cast<sim::TimePs>(span);
+    node_timing.compute_ps = static_cast<sim::TimePs>(compute);
+    node_timing.translation_exposed_ps = static_cast<sim::TimePs>(stall);
+    node_timing.macs = static_cast<std::uint64_t>(macs);
+    const double span_s = span * 1e-12;
+    node_timing.gflops = span_s > 0.0 ? 2.0 * macs / span_s / 1e9 : 0.0;
+    node_timing.efficiency =
+        span_s > 0.0 && request.peak_macs_per_second > 0.0
+            ? macs / span_s / request.peak_macs_per_second
+            : 0.0;
+    timing.mean_efficiency += node_timing.efficiency;
+    total_macs += node_timing.macs;
+    timing.nodes.push_back(node_timing);
+  }
+  timing.mean_efficiency /= static_cast<double>(nodes);
+  timing.makespan_ps = static_cast<sim::TimePs>(critical_span);
+  const double makespan_s = critical_span * 1e-12;
+  timing.total_gflops =
+      makespan_s > 0.0
+          ? 2.0 * static_cast<double>(total_macs) / makespan_s / 1e9
+          : 0.0;
+
+  // Translation per inner tile over the whole tile population.
+  double walks = 0.0;
+  double pages = 0.0;
+  double stall = 0.0;
+  double inner_tiles = 0.0;
+  std::uint64_t total_tiles = 0;
+  std::uint64_t sampled_tiles = 0;
+  for (const StratumState& state : states) {
+    const double population = static_cast<double>(state.population());
+    walks += population * state.mean(&TileSample::blocking_walks);
+    pages += population * (state.mean(&TileSample::blocking_walks) +
+                           state.mean(&TileSample::matlb_hits));
+    stall += population * state.mean(&TileSample::translation_stall_ps);
+    inner_tiles += population * static_cast<double>(
+                                    state.stratum->inner_tiles(request.inner));
+    total_tiles += state.population();
+    sampled_tiles += state.n();
+  }
+  if (inner_tiles > 0.0) {
+    timing.translation.walks_per_tile = walks / inner_tiles;
+    timing.translation.pages_per_tile = pages / inner_tiles;
+    timing.translation.stall_per_tile_ps =
+        static_cast<sim::TimePs>(stall / inner_tiles);
+  }
+
+  timing.sampling.total_tiles = total_tiles;
+  timing.sampling.sampled_tiles = sampled_tiles;
+  timing.sampling.strata = strata.size();
+  timing.sampling.makespan_se_ps = std::sqrt(critical_variance);
+  timing.sampling.makespan_ci95_ps =
+      1.96 * timing.sampling.makespan_se_ps +
+      kModelMarginFrac * critical_span;
+  return timing;
+}
+
+}  // namespace maco::sampling

@@ -1,0 +1,36 @@
+// fidelity=sampled: detailed-fidelity estimates beyond the detailed cap.
+//
+// The third execution backend. Where fidelity=detailed simulates every
+// cycle of a (<= 2048-dim, independent-only) GEMM and fidelity=analytic
+// evaluates closed forms, fidelity=sampled stratifies the workload's
+// first-level tile grid by position class (interior / edge / ridge /
+// corner) and layer shape, simulates a seeded random sample of tiles per
+// stratum on the real core::MacoSystem (via core::run_detailed_tiles), and
+// scales the per-stratum means to full-workload totals with standard-error
+// and confidence-interval qualifiers. This lifts the 2048 size cap AND the
+// independent-mode restriction: paper-scale gpt3/hpl points get
+// detailed-machine numbers at a small fraction of the simulation bill.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timing_model.hpp"
+
+namespace maco::sampling {
+
+// One GEMM (options.shape) estimated from sampled tiles. Reads the
+// sample_* / ci_target knobs of TimingOptions; throws std::invalid_argument
+// on an unusable configuration (tile beyond core::kDetailedMaxDim,
+// sample_frac outside (0, 1], analytic-only overrides).
+core::SystemTiming run_sampled_gemm(const core::SystemConfig& config,
+                                    const core::TimingOptions& options);
+
+// A layer sequence back to back; identical layer shapes collapse into
+// multiplicity-weighted strata, so the sample budget scales with distinct
+// shapes rather than network depth.
+core::SystemTiming run_sampled_layers(const core::SystemConfig& config,
+                                      const std::vector<sa::TileShape>& layers,
+                                      const core::TimingOptions& options);
+
+}  // namespace maco::sampling

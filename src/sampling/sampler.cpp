@@ -1,0 +1,60 @@
+#include "sampling/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace maco::sampling {
+
+std::uint64_t allocate_samples(std::uint64_t population, double frac,
+                               std::uint64_t min_samples,
+                               std::uint64_t cap) {
+  const double requested = frac * static_cast<double>(population);
+  std::uint64_t n = requested >= 1.0
+                        ? static_cast<std::uint64_t>(std::llround(requested))
+                        : 0;
+  n = std::max(n, min_samples);
+  if (cap != 0) n = std::min(n, cap);
+  return std::min(n, population);
+}
+
+StratumDraw::StratumDraw(const Stratum& stratum, std::uint64_t seed)
+    : stratum_(stratum),
+      // Fold the stratum identity into the seed so every stratum draws
+      // from its own stream regardless of enumeration order.
+      rng_(seed ^ (0x9e3779b97f4a7c15ull * (stratum.layer + 1)) ^
+           (0xbf58476d1ce4e5b9ull * (stratum.partial_mask + 1))) {}
+
+std::vector<TileCoord> StratumDraw::extend(std::uint64_t additional) {
+  std::vector<TileCoord> coords;
+  const std::uint64_t target =
+      std::min(stratum_.count,
+               static_cast<std::uint64_t>(drawn_.size()) + additional);
+  coords.reserve(static_cast<std::size_t>(target - drawn_.size()));
+
+  // Dense draws walk the index space in a seeded random order would need
+  // O(population) state; rejection stays O(samples) and the draw density
+  // is capped well below 1 except on tiny strata, where the fallback walk
+  // below finishes the draw exactly.
+  std::uint64_t rejections = 0;
+  while (drawn_.size() < target) {
+    const std::uint64_t flat = rng_.next_below(stratum_.count);
+    if (drawn_.insert(flat).second) {
+      coords.push_back(stratum_coord(stratum_, flat));
+      rejections = 0;
+    } else if (++rejections > 64) {
+      // Draw density too high for rejection: sweep the remaining indices
+      // in order (deterministic, and only reachable on small strata).
+      for (std::uint64_t flat_seq = 0;
+           flat_seq < stratum_.count && drawn_.size() < target;
+           ++flat_seq) {
+        if (drawn_.insert(flat_seq).second) {
+          coords.push_back(stratum_coord(stratum_, flat_seq));
+        }
+      }
+      break;
+    }
+  }
+  return coords;
+}
+
+}  // namespace maco::sampling

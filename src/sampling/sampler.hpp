@@ -1,0 +1,49 @@
+// Deterministic stratified sampling over tile strata.
+//
+// Sample sizes are allocated proportionally to stratum population (with a
+// floor so every stratum contributes a variance estimate), and tiles are
+// drawn without replacement from each stratum by a seeded xoshiro stream —
+// the same seed always reproduces the same draw, so sampled estimates are
+// bit-identical run to run and resumable through the campaign store. A
+// StratumDraw survives across adaptive rounds: extend() draws additional
+// distinct tiles from where the stream left off.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sampling/tile_space.hpp"
+#include "util/rng.hpp"
+
+namespace maco::sampling {
+
+// Tiles a stratum should contribute for a requested sampling fraction:
+// max(min_samples, round(frac * population)), clamped to the population
+// and to `cap` (which bounds the simulation bill on astronomically large
+// grids; 0 = no cap).
+std::uint64_t allocate_samples(std::uint64_t population, double frac,
+                               std::uint64_t min_samples, std::uint64_t cap);
+
+// A without-replacement draw from one stratum, extendable across rounds.
+class StratumDraw {
+ public:
+  StratumDraw(const Stratum& stratum, std::uint64_t seed);
+
+  // Draws up to `additional` tiles not drawn before; returns the new
+  // coordinates (fewer when the stratum population is exhausted).
+  std::vector<TileCoord> extend(std::uint64_t additional);
+
+  std::uint64_t drawn() const noexcept { return drawn_.size(); }
+  bool exhausted() const noexcept {
+    return drawn_.size() >= stratum_.count;
+  }
+  const Stratum& stratum() const noexcept { return stratum_; }
+
+ private:
+  Stratum stratum_;
+  util::Rng rng_;
+  std::unordered_set<std::uint64_t> drawn_;
+};
+
+}  // namespace maco::sampling

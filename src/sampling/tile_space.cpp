@@ -1,0 +1,179 @@
+#include "sampling/tile_space.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/gemm_mapper.hpp"
+#include "vm/types.hpp"
+
+namespace maco::sampling {
+namespace {
+
+int popcount3(std::uint8_t mask) {
+  return ((mask >> 0) & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
+}
+
+}  // namespace
+
+std::string Stratum::position_class() const {
+  switch (popcount3(partial_mask)) {
+    case 0: return "interior";
+    case 1: return "edge";
+    case 2: return "ridge";
+    default: return "corner";
+  }
+}
+
+std::vector<Stratum> enumerate_strata(
+    const std::vector<sa::TileShape>& layers, std::uint64_t tile) {
+  if (layers.empty()) {
+    throw std::invalid_argument("fidelity=sampled needs at least one layer");
+  }
+  if (tile == 0) {
+    throw std::invalid_argument("fidelity=sampled needs a non-zero tile");
+  }
+
+  // Deduplicate layers by shape; stratum count then scales with distinct
+  // shapes, not network depth (GPT-3's 96 identical decoder blocks fold
+  // into multiplicity-96 strata).
+  std::vector<std::pair<sa::TileShape, std::uint64_t>> unique;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           std::size_t>
+      seen;
+  for (const sa::TileShape& layer : layers) {
+    if (layer.m == 0 || layer.n == 0 || layer.k == 0) {
+      throw std::invalid_argument("fidelity=sampled needs non-empty layers");
+    }
+    const auto key = std::make_tuple(layer.m, layer.n, layer.k);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      ++unique[it->second].second;
+    } else {
+      seen.emplace(key, unique.size());
+      unique.emplace_back(layer, 1);
+    }
+  }
+
+  std::vector<Stratum> strata;
+  for (std::size_t l = 0; l < unique.size(); ++l) {
+    const sa::TileShape& shape = unique[l].first;
+    const std::uint64_t grid_m = (shape.m + tile - 1) / tile;
+    const std::uint64_t grid_n = (shape.n + tile - 1) / tile;
+    const std::uint64_t grid_k = (shape.k + tile - 1) / tile;
+    const std::uint64_t rem_m = shape.m % tile;
+    const std::uint64_t rem_n = shape.n % tile;
+    const std::uint64_t rem_k = shape.k % tile;
+
+    // Along each dim: the count and tile extent of the full vs partial
+    // index classes. A dim with no remainder has no partial class.
+    const auto spans = [&](std::uint64_t grid, std::uint64_t rem,
+                           bool partial) -> std::pair<std::uint64_t,
+                                                      std::uint64_t> {
+      if (partial) return {rem != 0 ? 1u : 0u, rem};
+      return {rem != 0 ? grid - 1 : grid, tile};
+    };
+
+    for (std::uint8_t mask = 0; mask < 8; ++mask) {
+      const auto [span_m, edge_m] =
+          spans(grid_m, rem_m, (mask & kPartialM) != 0);
+      const auto [span_n, edge_n] =
+          spans(grid_n, rem_n, (mask & kPartialN) != 0);
+      const auto [span_k, edge_k] =
+          spans(grid_k, rem_k, (mask & kPartialK) != 0);
+      const std::uint64_t count = span_m * span_n * span_k;
+      if (count == 0) continue;
+      Stratum s;
+      s.layer = static_cast<std::uint32_t>(l);
+      s.partial_mask = mask;
+      s.tile_shape = sa::TileShape{edge_m, edge_n, edge_k};
+      s.layer_shape = shape;
+      s.tile = tile;
+      s.count = count;
+      s.multiplicity = unique[l].second;
+      s.grid_m = grid_m;
+      s.grid_n = grid_n;
+      s.grid_k = grid_k;
+      s.span_m = span_m;
+      s.span_n = span_n;
+      s.span_k = span_k;
+      strata.push_back(s);
+    }
+  }
+  return strata;
+}
+
+TileCoord stratum_coord(const Stratum& stratum, std::uint64_t flat) {
+  if (flat >= stratum.count) {
+    throw std::out_of_range("stratum_coord: flat index beyond the stratum");
+  }
+  const std::uint64_t ik_local = flat % stratum.span_k;
+  const std::uint64_t in_local = (flat / stratum.span_k) % stratum.span_n;
+  const std::uint64_t im_local = flat / (stratum.span_k * stratum.span_n);
+  TileCoord coord;
+  coord.layer = stratum.layer;
+  coord.im = (stratum.partial_mask & kPartialM) ? stratum.grid_m - 1
+                                                : im_local;
+  coord.in = (stratum.partial_mask & kPartialN) ? stratum.grid_n - 1
+                                                : in_local;
+  coord.ik = (stratum.partial_mask & kPartialK) ? stratum.grid_k - 1
+                                                : ik_local;
+  return coord;
+}
+
+TileOffsets tile_page_offsets(const Stratum& stratum,
+                              const TileCoord& coord) {
+  // Start-element offsets of the sub-blocks in the row-major FP64 layer
+  // matrices; products wrap mod 2^64, which preserves the value mod the
+  // 4 KiB page size (4096 divides 2^64).
+  const std::uint64_t t = stratum.tile;
+  const std::uint64_t n_cols = stratum.layer_shape.n;
+  const std::uint64_t k_cols = stratum.layer_shape.k;
+  TileOffsets offsets;
+  offsets.a = ((coord.im * t * k_cols + coord.ik * t) * sizeof(double)) &
+              (vm::kPageSize - 1);
+  offsets.b = ((coord.ik * t * n_cols + coord.in * t) * sizeof(double)) &
+              (vm::kPageSize - 1);
+  offsets.c = ((coord.im * t * n_cols + coord.in * t) * sizeof(double)) &
+              (vm::kPageSize - 1);
+  return offsets;
+}
+
+std::pair<std::uint64_t, std::uint64_t> split_range(std::uint64_t tiles,
+                                                    std::uint64_t parts,
+                                                    std::uint64_t index) {
+  return {tiles * index / parts, tiles * (index + 1) / parts};
+}
+
+std::uint64_t cooperative_node_count(const Stratum& stratum, unsigned nodes,
+                                     unsigned node) {
+  const auto [grid_rows, grid_cols] = core::choose_grid(nodes);
+  const unsigned row = node / grid_cols;
+  const unsigned col = node % grid_cols;
+  const auto [row_begin, row_end] =
+      split_range(stratum.grid_m, grid_rows, row);
+  const auto [col_begin, col_end] =
+      split_range(stratum.grid_n, grid_cols, col);
+
+  // Count of this stratum's indices along one dim that fall in [begin,
+  // end): the full class occupies [0, span), the partial class exactly
+  // {grid - 1}.
+  const auto overlap = [](bool partial, std::uint64_t span,
+                          std::uint64_t grid, std::uint64_t begin,
+                          std::uint64_t end) -> std::uint64_t {
+    if (partial) return (grid - 1 >= begin && grid - 1 < end) ? 1 : 0;
+    const std::uint64_t hi = std::min(span, end);
+    const std::uint64_t lo = std::min(span, begin);
+    return hi > lo ? hi - lo : 0;
+  };
+  const std::uint64_t m_count =
+      overlap((stratum.partial_mask & kPartialM) != 0, stratum.span_m,
+              stratum.grid_m, row_begin, row_end);
+  const std::uint64_t n_count =
+      overlap((stratum.partial_mask & kPartialN) != 0, stratum.span_n,
+              stratum.grid_n, col_begin, col_end);
+  return m_count * n_count * stratum.span_k;
+}
+
+}  // namespace maco::sampling

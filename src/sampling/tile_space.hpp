@@ -1,0 +1,94 @@
+// Tile-space enumeration for the sampled-fidelity estimator.
+//
+// A GEMM layer (M, N, K) tiled with first-level tile T partitions into a
+// ceil(M/T) x ceil(N/T) x ceil(K/T) grid of tile GEMMs. Tiles fall into
+// strata by position class — which dimensions are cut short by the matrix
+// edge — and every tile inside a stratum has the SAME shape, so a stratum
+// is a homogeneous population the estimator can sample from. Multi-layer
+// workloads stratify additionally by layer; identical layer shapes (the 96
+// GPT-3 decoder blocks, HPL's repeated trailing updates) collapse into one
+// stratum set with a multiplicity, so the sample budget scales with the
+// number of DISTINCT shapes rather than network depth.
+//
+// Strata are described arithmetically (counts, not materialized tile
+// lists): a 1024^3-tile grid is enumerable even though its tiles are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sa/latency_model.hpp"
+
+namespace maco::sampling {
+
+// One tile's position in a layer's first-level tile grid.
+struct TileCoord {
+  std::uint32_t layer = 0;  // index into the unique-layer list
+  std::uint64_t im = 0;     // tile-grid position along M
+  std::uint64_t in = 0;     // along N
+  std::uint64_t ik = 0;     // along K
+};
+
+// Bit i of partial_mask set => dimension i is the matrix-edge remainder.
+inline constexpr std::uint8_t kPartialM = 1;
+inline constexpr std::uint8_t kPartialN = 2;
+inline constexpr std::uint8_t kPartialK = 4;
+
+struct Stratum {
+  std::uint32_t layer = 0;        // unique-layer index
+  std::uint8_t partial_mask = 0;  // kPartialM/N/K bits
+  sa::TileShape tile_shape;       // shape of EVERY tile in this stratum
+  sa::TileShape layer_shape;      // the full layer GEMM
+  std::uint64_t tile = 0;         // first-level tile edge
+  std::uint64_t count = 0;        // tiles in one layer instance
+  std::uint64_t multiplicity = 1; // identical layers collapsed into this one
+
+  // Tile-grid geometry of the layer (for flat-index -> coordinate maps).
+  std::uint64_t grid_m = 0, grid_n = 0, grid_k = 0;
+  // Index counts of this stratum along each dim (full dims: grid-1 or grid
+  // depending on whether a remainder exists; partial dims: exactly 1).
+  std::uint64_t span_m = 0, span_n = 0, span_k = 0;
+
+  std::uint64_t population() const noexcept { return count * multiplicity; }
+  std::uint64_t inner_tiles(std::uint64_t inner) const noexcept {
+    const auto along = [&](std::uint64_t extent) {
+      return (extent + inner - 1) / inner;
+    };
+    return along(tile_shape.m) * along(tile_shape.n) * along(tile_shape.k);
+  }
+  // "interior", "edge", "ridge" or "corner" by how many dims are partial.
+  std::string position_class() const;
+};
+
+// Stratifies `layers` (deduplicated by shape, multiplicities recorded)
+// tiled with first-level tile `tile`. Throws std::invalid_argument on an
+// empty layer list, a zero tile, or an empty layer shape.
+std::vector<Stratum> enumerate_strata(
+    const std::vector<sa::TileShape>& layers, std::uint64_t tile);
+
+// The coordinates of tile `flat` (0 <= flat < stratum.count) within its
+// stratum, row-major over (m, n, k) index spans.
+TileCoord stratum_coord(const Stratum& stratum, std::uint64_t flat);
+
+// In-page byte offsets (mod 4 KiB) of the tile's A/B/C sub-blocks within
+// the full row-major FP64 layer matrices — what makes two same-shape tiles
+// at different positions translate differently.
+struct TileOffsets {
+  std::uint64_t a = 0, b = 0, c = 0;
+};
+TileOffsets tile_page_offsets(const Stratum& stratum, const TileCoord& coord);
+
+// Balanced 1-D split of `tiles` grid positions over `parts` (first
+// `tiles % parts` parts get one extra): [begin, end) of part `index`.
+std::pair<std::uint64_t, std::uint64_t> split_range(std::uint64_t tiles,
+                                                    std::uint64_t parts,
+                                                    std::uint64_t index);
+
+// How many tiles of `stratum` a cooperative run assigns to node `node` of
+// `nodes` (C tiles partitioned over the most-square node grid, every node
+// computing all K chunks of its C tiles — core::partition_gemm's layout).
+std::uint64_t cooperative_node_count(const Stratum& stratum, unsigned nodes,
+                                     unsigned node);
+
+}  // namespace maco::sampling

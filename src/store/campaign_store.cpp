@@ -302,6 +302,64 @@ const CampaignRecord* CampaignStore::find(std::uint64_t fingerprint,
   return it == ok_index_.end() ? nullptr : &records_[it->second];
 }
 
+CampaignStore::CompactionResult CampaignStore::compact(
+    const std::string& path) {
+  namespace fs = std::filesystem;
+  // Read-only open: recovery drops a torn tail from the view; the rewrite
+  // then persists only whole, checksummed records.
+  const CampaignStore store(path, Mode::kReadOnly);
+
+  // The latest record of each point wins, whatever its outcome — a final
+  // error record is the point's current state and must survive, while
+  // every record an append superseded (earlier re-runs, errors a retry
+  // fixed) is dropped.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> latest;
+  for (std::size_t i = 0; i < store.records().size(); ++i) {
+    const CampaignRecord& record = store.records()[i];
+    latest[{record.fingerprint, record.schema_hash}] = i;
+  }
+
+  const std::string temp_path = path + ".compact.tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("campaign store: cannot write '" +
+                               temp_path + "'");
+    }
+    std::string header;
+    header.append(kFileMagic, sizeof kFileMagic);
+    put_u32(header, kFormatVersion);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    for (std::size_t i = 0; i < store.records().size(); ++i) {
+      const CampaignRecord& record = store.records()[i];
+      if (latest[{record.fingerprint, record.schema_hash}] != i) continue;
+      const std::string payload = encode_record(record);
+      std::string frame;
+      frame.reserve(payload.size() + 16);
+      put_u32(frame, kFrameMagic);
+      put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+      frame += payload;
+      put_u64(frame, fnv1a64(payload));
+      out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    }
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("campaign store: write to '" + temp_path +
+                               "' failed");
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp_path, path, ec);
+  if (ec) {
+    throw std::runtime_error("campaign store: cannot replace '" + path +
+                             "' with the compacted store: " + ec.message());
+  }
+  CompactionResult result;
+  result.kept = latest.size();
+  result.dropped = store.records().size() - latest.size();
+  return result;
+}
+
 bool CampaignStore::lookup(std::uint64_t fingerprint,
                            std::uint64_t schema_hash,
                            CampaignRecord& out) const {

@@ -80,6 +80,20 @@ class CampaignStore {
     return dropped_bytes_;
   }
 
+  struct CompactionResult {
+    std::size_t kept = 0;     // records in the rewritten store
+    std::size_t dropped = 0;  // superseded re-run/error records removed
+  };
+
+  // Rewrites the store at `path` keeping only the LATEST record of every
+  // (fingerprint, schema hash) point — superseded re-runs and error
+  // records that a later run replaced disappear, append order of the
+  // survivors is preserved. The rewrite goes to a temp file that atomically
+  // replaces the original, so a crash mid-compaction leaves the store
+  // intact. Throws std::runtime_error on an unreadable store or a write
+  // failure. Not safe against a concurrent writer of the same file.
+  static CompactionResult compact(const std::string& path);
+
  private:
   void load();
 

@@ -29,6 +29,23 @@ const exp::Metric* find_metric(const CampaignRecord& record,
   return nullptr;
 }
 
+// X_ci95 / X_se columns are statistical qualifiers of metric X, and the
+// tile-coverage counters describe the sampling plan rather than the
+// machine (both emitted by fidelity=sampled) — none are results to diff
+// on their own.
+bool is_error_bar_metric(const std::string& name) {
+  return name.ends_with("_ci95") || name.ends_with("_se") ||
+         name == "sampled_tiles" || name == "total_tiles";
+}
+
+// The 95% half-width companion of `name` (0 when the record carries none —
+// an exhaustive run's value is a point, not an interval).
+double ci95_of(const CampaignRecord& record, const std::string& name) {
+  const exp::Metric* ci = find_metric(record, name + "_ci95");
+  return ci != nullptr && std::isfinite(ci->value) ? std::abs(ci->value)
+                                                   : 0.0;
+}
+
 // "gemm size=512! nodes=4" — the scenario plus the user-set knobs, the
 // compact human identity of a point in comparison output.
 std::string point_label(const CampaignRecord& record) {
@@ -402,6 +419,7 @@ CampaignComparison compare_campaigns(
                     metric.name) == options.metrics.end()) {
         continue;
       }
+      if (is_error_bar_metric(metric.name)) continue;
       const exp::Metric* reference =
           find_metric(*point.baseline, metric.name);
       if (reference == nullptr) continue;
@@ -439,6 +457,18 @@ CampaignComparison compare_campaigns(
           metric.higher_is_better ? -delta.rel_change : delta.rel_change;
       delta.regression = worsening > options.tolerance;
       delta.improvement = -worsening > options.tolerance;
+      // Error-bar widening: sampled estimates carry X_ci95 companions;
+      // when the two intervals overlap, the movement is within the
+      // estimates' joint uncertainty and is neither a regression nor an
+      // improvement.
+      delta.ci_current = ci95_of(*record, metric.name);
+      delta.ci_baseline = ci95_of(*point.baseline, metric.name);
+      if ((delta.regression || delta.improvement) &&
+          std::abs(metric.value - reference->value) <=
+              delta.ci_current + delta.ci_baseline) {
+        delta.regression = false;
+        delta.improvement = false;
+      }
       point.deltas.push_back(std::move(delta));
     }
     comparison.points.push_back(std::move(point));
@@ -554,8 +584,12 @@ void write_comparison_json(std::ostream& out,
       first = false;
       out << "{\"metric\":\"" << json_escape(delta.metric)
           << "\",\"baseline\":" << json_number(delta.baseline)
-          << ",\"current\":" << json_number(delta.current)
-          << ",\"rel_change\":" << json_number(delta.rel_change)
+          << ",\"current\":" << json_number(delta.current);
+      if (delta.ci_baseline > 0.0 || delta.ci_current > 0.0) {
+        out << ",\"ci95_baseline\":" << json_number(delta.ci_baseline)
+            << ",\"ci95_current\":" << json_number(delta.ci_current);
+      }
+      out << ",\"rel_change\":" << json_number(delta.rel_change)
           << ",\"status\":\"" << delta_status(delta) << "\"}";
     }
     out << "]}";

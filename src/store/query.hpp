@@ -58,12 +58,21 @@ struct CompareOptions {
   std::vector<std::string> metrics;  // restrict deltas (empty = all)
 };
 
+// Error-bar awareness: a metric X whose record carries a companion metric
+// named X_ci95 (the 95% interval half-width fidelity=sampled emits) is
+// compared interval-to-interval — a delta beyond tolerance is only flagged
+// when [current +- ci] and [baseline +- ci] do not overlap, so statistical
+// noise in sampled estimates cannot masquerade as a regression. The
+// companions themselves (X_ci95, X_se) are qualifiers, not results, and
+// are excluded from the delta list.
 struct MetricDelta {
   std::string metric;
   std::string unit;
   bool higher_is_better = true;
   double baseline = 0.0;
   double current = 0.0;
+  double ci_baseline = 0.0;  // 95% half-widths (0 = exact value)
+  double ci_current = 0.0;
   double rel_change = 0.0;  // (current - baseline) / |baseline|
   bool regression = false;  // current worse beyond tolerance
   bool improvement = false;

@@ -2,6 +2,7 @@
 // sweep execution and result serialization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -307,7 +308,7 @@ TEST(Registry, AddRejectsDuplicateName) {
   EXPECT_EQ(registry.scenarios().size(), 1u);
 }
 
-TEST(Registry, GemmDeclaresBothFidelities) {
+TEST(Registry, GemmDeclaresAllThreeFidelities) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   const Scenario* gemm = registry.find("gemm");
   ASSERT_NE(gemm, nullptr);
@@ -315,12 +316,15 @@ TEST(Registry, GemmDeclaresBothFidelities) {
   ASSERT_NE(fidelity, nullptr);
   EXPECT_EQ(fidelity->type, exp::ParamType::kEnum);
   EXPECT_EQ(fidelity->choices,
-            (std::vector<std::string>{"analytic", "detailed"}));
-  // Analytic-only scenarios reject fidelity=detailed in their schema.
+            (std::vector<std::string>{"analytic", "detailed", "sampled"}));
+  // Scenarios that cannot run the flit-level machine whole (cooperative
+  // layer sequences) reject fidelity=detailed in their schema but accept
+  // the sampled estimator.
   const Scenario* hpl = registry.find("hpl");
   ASSERT_NE(hpl, nullptr);
   EXPECT_THROW(hpl->schema.parse("fidelity", "detailed"),
                std::invalid_argument);
+  EXPECT_NO_THROW(hpl->schema.parse("fidelity", "sampled"));
 }
 
 // ---- hardware knobs ----
@@ -885,6 +889,108 @@ TEST(Sweep, CacheGeometryKnobsAreSweepable) {
   ASSERT_NE(small, nullptr);
   ASSERT_NE(big, nullptr);
   EXPECT_LT(small->value, big->value);
+}
+
+// ---- cross-schema constraints ----
+
+TEST(Registry, NodesVersusNodeCountIsADeclaredCrossRule) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  for (const char* name : {"gemm", "hpl", "baselines", "fig7_scalability"}) {
+    const Scenario* scenario = registry.find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    const bool declared = std::any_of(
+        scenario->cross_rules.begin(), scenario->cross_rules.end(),
+        [](const CrossRule& rule) {
+          return rule.rule == "nodes <= node_count";
+        });
+    EXPECT_TRUE(declared) << name;
+  }
+}
+
+TEST(Sweep, CrossSchemaViolationFailsThePointWithTheRuleText) {
+  // Explicit nodes beyond the instantiated hardware used to clamp
+  // silently; now the point fails naming the declared rule, and the legal
+  // points of the same sweep still run.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "512"}, {"node_count", "4"}};
+  request.axes = {{"nodes", {"2", "4", "8"}}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 3u);
+  EXPECT_TRUE(results.rows[0].ok());
+  EXPECT_TRUE(results.rows[1].ok());
+  ASSERT_FALSE(results.rows[2].ok());
+  EXPECT_NE(results.rows[2].error.find("nodes <= node_count"),
+            std::string::npos);
+}
+
+TEST(Sweep, UnsetNodesStillFollowsNodeCountUnderTheCrossRule) {
+  // The rule only bites explicitly-set nodes; the defaulting behaviour of
+  // UnsetNodesFollowsNodeCount is unchanged.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "512"}, {"node_count", "2"}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 1u);
+  EXPECT_TRUE(results.rows[0].ok()) << results.rows[0].error;
+}
+
+// ---- fidelity=sampled through the driver ----
+
+TEST(Sweep, SampledFidelityRunsBeyondTheDetailedCap) {
+  // The acceptance point: every GEMM dimension beyond 2048 — rejected by
+  // fidelity=detailed — completes under fidelity=sampled with error-bar
+  // metrics attached.
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  SweepRequest request;
+  request.scenario = "gemm";
+  request.base_params = {{"size", "2176"},   {"tile", "128"},
+                         {"nodes", "1"},     {"fidelity", "sampled"},
+                         {"sample_frac", "0.000001"}};
+  const SweepResults results = run_sweep(registry, request);
+  ASSERT_EQ(results.rows.size(), 1u);
+  ASSERT_TRUE(results.rows[0].ok()) << results.rows[0].error;
+  const exp::Metric* makespan = results.rows[0].result.find("makespan_ms");
+  const exp::Metric* ci = results.rows[0].result.find("makespan_ms_ci95");
+  const exp::Metric* sampled =
+      results.rows[0].result.find("sampled_tiles");
+  const exp::Metric* total = results.rows[0].result.find("total_tiles");
+  ASSERT_NE(makespan, nullptr);
+  ASSERT_NE(ci, nullptr);
+  ASSERT_NE(sampled, nullptr);
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(makespan->value, 0.0);
+  EXPECT_GT(ci->value, 0.0);
+  EXPECT_EQ(total->value, 17.0 * 17.0 * 17.0);
+  EXPECT_LT(sampled->value, total->value);
+
+  // The same size through fidelity=detailed is a typed row error that
+  // points at the sampled remedy.
+  request.base_params["fidelity"] = "detailed";
+  const SweepResults rejected = run_sweep(registry, request);
+  ASSERT_EQ(rejected.rows.size(), 1u);
+  ASSERT_FALSE(rejected.rows[0].ok());
+  EXPECT_NE(rejected.rows[0].error.find("size <= 2048"),
+            std::string::npos);
+}
+
+TEST(Cli, ParsesStoreCompactCommand) {
+  const CliParse parse =
+      parse_cli({"store", "compact", "--store", "campaign.mdb"});
+  ASSERT_TRUE(parse.ok) << parse.error;
+  EXPECT_EQ(parse.options.command, CliCommand::kStoreCompact);
+  EXPECT_EQ(parse.options.store_path, "campaign.mdb");
+
+  EXPECT_FALSE(parse_cli({"store"}).ok);
+  EXPECT_FALSE(parse_cli({"store", "compact"}).ok);  // needs --store
+  EXPECT_FALSE(parse_cli({"store", "vacuum", "--store", "x"}).ok);
+  EXPECT_FALSE(
+      parse_cli({"store", "compact", "--store", "x", "--bogus"}).ok);
+  const CliParse help = parse_cli({"store", "--help"});
+  ASSERT_TRUE(help.ok);
+  EXPECT_TRUE(help.options.show_help);
 }
 
 }  // namespace

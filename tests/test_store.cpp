@@ -594,5 +594,173 @@ TEST(Compare, ErrorRecordsNeverMatch) {
   EXPECT_EQ(comparison.baseline_only, 1u);
 }
 
+// ---- error-bar-aware comparison (fidelity=sampled estimates) ----
+
+std::vector<exp::Metric> estimate_metrics(double makespan, double ci95) {
+  return {exp::Metric{"makespan_ms", makespan, "ms", false},
+          exp::Metric{"makespan_ms_ci95", ci95, "ms", false},
+          exp::Metric{"makespan_ms_se", ci95 / 1.96, "ms", false}};
+}
+
+TEST(Compare, OverlappingConfidenceIntervalsAreNotRegressions) {
+  // 10% worse makespan, far beyond a 2% tolerance — but both values are
+  // sampled estimates whose 95% intervals overlap, so flagging it would
+  // alarm on statistical noise.
+  std::vector<CampaignRecord> baseline = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"}, estimate_metrics(100.0, 8.0))};
+  std::vector<CampaignRecord> current = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"}, estimate_metrics(110.0, 8.0))};
+  CompareOptions options;
+  options.tolerance = 0.02;
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  ASSERT_EQ(comparison.points.size(), 1u);
+  EXPECT_EQ(comparison.regressions(), 0u);
+  // The ci/se companion columns are qualifiers, not compared metrics.
+  ASSERT_EQ(comparison.points[0].deltas.size(), 1u);
+  EXPECT_EQ(comparison.points[0].deltas[0].metric, "makespan_ms");
+  EXPECT_DOUBLE_EQ(comparison.points[0].deltas[0].ci_current, 8.0);
+  EXPECT_DOUBLE_EQ(comparison.points[0].deltas[0].ci_baseline, 8.0);
+}
+
+TEST(Compare, DisjointConfidenceIntervalsStillFlagRegressions) {
+  std::vector<CampaignRecord> baseline = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"}, estimate_metrics(100.0, 2.0))};
+  std::vector<CampaignRecord> current = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"}, estimate_metrics(110.0, 2.0))};
+  CompareOptions options;
+  options.tolerance = 0.02;
+  const CampaignComparison comparison = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  ASSERT_EQ(comparison.points.size(), 1u);
+  EXPECT_EQ(comparison.regressions(), 1u);
+}
+
+TEST(Compare, ExactRecordsKeepPlainToleranceSemantics) {
+  // No _ci95 companions (analytic/detailed runs): zero-width intervals,
+  // so the historic tolerance-only behaviour is unchanged.
+  std::vector<CampaignRecord> baseline = {
+      make_record("gemm", {{"size", "512"}}, {"size"}, {gflops(100.0)})};
+  std::vector<CampaignRecord> current = {
+      make_record("gemm", {{"size", "512"}}, {"size"}, {gflops(90.0)})};
+  CompareOptions options;
+  options.tolerance = 0.02;
+  EXPECT_EQ(compare_campaigns(pointers(current), pointers(baseline),
+                              options)
+                .regressions(),
+            1u);
+}
+
+TEST(Compare, AsymmetricIntervalsWidenInBothDirections) {
+  // Only the baseline carries an interval (e.g. sampled baseline vs a new
+  // exhaustive run): overlap still suppresses the flag — and so does the
+  // mirror case of an improvement inside the joint interval.
+  std::vector<CampaignRecord> baseline = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"}, estimate_metrics(100.0, 15.0))};
+  std::vector<CampaignRecord> current = {make_record(
+      "gemm", {{"size", "4096"}}, {"size"},
+      {exp::Metric{"makespan_ms", 110.0, "ms", false}})};
+  CompareOptions options;
+  options.tolerance = 0.02;
+  const CampaignComparison worse = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(worse.regressions(), 0u);
+  current = {make_record("gemm", {{"size", "4096"}}, {"size"},
+                         {exp::Metric{"makespan_ms", 90.0, "ms", false}})};
+  const CampaignComparison better = compare_campaigns(
+      pointers(current), pointers(baseline), options);
+  EXPECT_EQ(better.improvements(), 0u);
+}
+
+// ---- compaction ----
+
+TEST(CampaignStore, CompactKeepsOnlyTheLatestRecordPerPoint) {
+  const std::string path = temp_path("store_compact.mdb");
+  std::remove(path.c_str());
+  {
+    CampaignStore db(path);
+    // Point A: error first, then a successful re-run (error superseded).
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"}, {}, "boom"));
+    db.append(make_record("gemm", {{"size", "512"}}, {"size"},
+                          {gflops(80.0)}));
+    // Point B: two successful runs (first superseded).
+    db.append(make_record("gemm", {{"size", "1024"}}, {"size"},
+                          {gflops(100.0)}));
+    db.append(make_record("gemm", {{"size", "1024"}}, {"size"},
+                          {gflops(120.0)}));
+    // Point C: a lone error record (kept — it is the latest state).
+    db.append(make_record("gemm", {{"size", "2048"}}, {"size"}, {},
+                          "still broken"));
+  }
+  const CampaignStore::CompactionResult result =
+      CampaignStore::compact(path);
+  EXPECT_EQ(result.kept, 3u);
+  EXPECT_EQ(result.dropped, 2u);
+
+  CampaignStore compacted(path, CampaignStore::Mode::kReadOnly);
+  ASSERT_EQ(compacted.size(), 3u);
+  EXPECT_EQ(compacted.recovered_dropped_bytes(), 0u);
+  // Append order preserved; each point's latest value survived.
+  EXPECT_EQ(compacted.records()[0].params.at("size"), "512");
+  EXPECT_DOUBLE_EQ(compacted.records()[0].metrics[0].value, 80.0);
+  EXPECT_EQ(compacted.records()[1].params.at("size"), "1024");
+  EXPECT_DOUBLE_EQ(compacted.records()[1].metrics[0].value, 120.0);
+  EXPECT_EQ(compacted.records()[2].params.at("size"), "2048");
+  EXPECT_FALSE(compacted.records()[2].ok());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, CompactPreservesDistinctSchemaVersions) {
+  // The same fingerprintable point under two schema hashes is two live
+  // records — compaction must not collapse across schema versions.
+  const std::string path = temp_path("store_compact_schemas.mdb");
+  std::remove(path.c_str());
+  {
+    CampaignStore db(path);
+    CampaignRecord under_a = make_record("gemm", {{"size", "512"}},
+                                         {"size"}, {gflops(80.0)});
+    under_a.schema_hash = 0x1111;
+    CampaignRecord under_b = under_a;
+    under_b.schema_hash = 0x2222;
+    under_b.metrics[0].value = 90.0;
+    db.append(under_a);
+    db.append(under_b);
+  }
+  const CampaignStore::CompactionResult result =
+      CampaignStore::compact(path);
+  EXPECT_EQ(result.kept, 2u);
+  EXPECT_EQ(result.dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, CompactedStoreStaysAppendableAndResumable) {
+  const std::string path = temp_path("store_compact_append.mdb");
+  std::remove(path.c_str());
+  CampaignRecord record = make_record("gemm", {{"size", "512"}}, {"size"},
+                                      {gflops(80.0)});
+  {
+    CampaignStore db(path);
+    db.append(record);
+    db.append(record);  // superseded duplicate
+  }
+  EXPECT_EQ(CampaignStore::compact(path).kept, 1u);
+  CampaignStore db(path);
+  EXPECT_TRUE(db.contains(record.fingerprint, record.schema_hash));
+  db.append(make_record("gemm", {{"size", "1024"}}, {"size"},
+                        {gflops(100.0)}));
+  CampaignStore reopened(path, CampaignStore::Mode::kReadOnly);
+  EXPECT_EQ(reopened.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignStore, CompactRejectsMissingAndForeignFiles) {
+  EXPECT_THROW(CampaignStore::compact(temp_path("store_compact_none.mdb")),
+               std::runtime_error);
+  const std::string path = temp_path("store_compact_foreign.mdb");
+  write_file(path, "not a campaign store at all");
+  EXPECT_THROW(CampaignStore::compact(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace maco::store
