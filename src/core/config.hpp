@@ -10,6 +10,7 @@
 #include "mem/directory.hpp"
 #include "mem/dram.hpp"
 #include "mmae/accelerator_controller.hpp"
+#include "noc/icnt.hpp"
 #include "noc/link_load_model.hpp"
 #include "noc/mesh.hpp"
 #include "sa/types.hpp"
@@ -25,7 +26,8 @@ struct SystemConfig {
   unsigned ccm_count = 16;           // one L3 slice per mesh node
   mem::CcmConfig ccm{};
   unsigned dram_channels = 4;
-  mem::DramConfig dram{};
+  mem::DramConfig dram{};                   // per-channel backend + timings
+  noc::IcntKind icnt = noc::IcntKind::kAnalytic;  // detailed-machine NoC
 
   // Fast-model latency constants (calibrated; see DESIGN.md §5).
   sim::TimePs noc_hop_ps = 500;            // one NoC cycle per hop
@@ -67,6 +69,19 @@ struct SystemConfig {
   // Per-direction NoC link bandwidth (256-bit @ 2 GHz = 64 GB/s).
   double node_link_bandwidth() const noexcept {
     return link_load.link_bytes_per_second;
+  }
+  // The detailed machine's interconnect backend, derived from the mesh
+  // geometry so the icnt trait can never desynchronize from it.
+  noc::IcntConfig icnt_config() const noexcept {
+    noc::IcntConfig c;
+    c.kind = icnt;
+    c.width = mesh.width;
+    c.height = mesh.height;
+    c.hop_ps = noc_hop_ps;
+    c.flit_bytes = mesh.flit_bytes;
+    c.header_bytes = mesh.header_bytes;
+    c.cycle_ps = mesh.cycle_ps;
+    return c;
   }
 
   // The paper's configuration.

@@ -40,9 +40,18 @@ sim::TimePs SystemMemoryBackend::transfer(int node, vm::PhysAddr pa,
     }
     request.node = node;
     request.addr = line;
-    const mem::CcmResponse response = ccm.handle(request, t);
+    // Two-leg protocol: the home slice services the request at its ARRIVAL
+    // time, so a queueing interconnect and a queueing DRAM each charge
+    // their own backlog exactly once (handing the slice the injection time
+    // would bill the network wait again as memory wait).
+    noc::IcntModel& icnt = system_.icnt();
+    const sim::TimePs req_arrive =
+        t + icnt.request_leg_ps(t, node, home);
+    const mem::CcmResponse response = ccm.handle(request, req_arrive);
+    const sim::TimePs data_ready = req_arrive + response.latency;
     const sim::TimePs line_ready =
-        t + system_.noc_round_trip_ps(node, home) + response.latency;
+        data_ready +
+        icnt.response_leg_ps(data_ready, home, node, mem::kLineBytes);
     ready = std::max(ready, line_ready);
   }
   port_free = t + wire_ps;
@@ -79,12 +88,14 @@ sim::TimePs WalkMemoryOracle::read_latency(vm::PhysAddr addr,
   request.node = node_;
   request.addr = mem::line_addr(addr);
   // The walker has no notion of current time, so the PTE read must not
-  // book the shared DRAM bus (a stale timestamp would surface the bus
-  // backlog as walk latency); it still updates L3 state, so page-table
+  // book the shared DRAM bus or NoC links (a stale timestamp would surface
+  // the backlog as walk latency); it still updates L3 state, so page-table
   // locality emerges across walks.
   const mem::CcmResponse response =
       ccm.handle(request, 0, /*queue_dram=*/false);
-  return system_.noc_round_trip_ps(node_, home) + response.latency;
+  return system_.icnt().unloaded_round_trip_ps(node_, home,
+                                               mem::kLineBytes) +
+         response.latency;
 }
 
 // ---------------- MacoSystem ----------------
@@ -94,8 +105,8 @@ MacoSystem::MacoSystem(const SystemConfig& config) : config_(config) {
 
   drams_.reserve(config_.dram_channels);
   for (unsigned ch = 0; ch < config_.dram_channels; ++ch) {
-    drams_.push_back(std::make_unique<mem::DramController>(
-        "dram" + std::to_string(ch), config_.dram));
+    drams_.push_back(mem::make_dram_model("dram" + std::to_string(ch),
+                                          config_.dram));
   }
 
   ccms_.reserve(config_.ccm_count);
@@ -104,11 +115,12 @@ MacoSystem::MacoSystem(const SystemConfig& config) : config_(config) {
   config_.ccm.slice_interleave = config_.ccm_count;
   for (unsigned s = 0; s < config_.ccm_count; ++s) {
     // Channel interleaving: slice s drains to channel s % channels.
-    mem::DramController& dram = *drams_[s % config_.dram_channels];
+    mem::DramModel& dram = *drams_[s % config_.dram_channels];
     ccms_.push_back(std::make_unique<mem::DirectoryCcm>(
         "ccm" + std::to_string(s), config_.ccm, dram));
   }
 
+  icnt_ = noc::make_icnt_model(config_.icnt_config());
   mesh_ = std::make_unique<noc::MeshNetwork>(engine_, config_.mesh);
 
   node_port_free_.assign(config_.node_count, 0);
@@ -226,22 +238,8 @@ unsigned MacoSystem::ccm_home_node(vm::PhysAddr pa) const noexcept {
   return static_cast<unsigned>((pa / mem::kLineBytes) % config_.ccm_count);
 }
 
-mem::DramController& MacoSystem::dram_for(vm::PhysAddr pa) {
+mem::DramModel& MacoSystem::dram_for(vm::PhysAddr pa) {
   return *drams_[ccm_home_node(pa) % config_.dram_channels];
-}
-
-sim::TimePs MacoSystem::noc_round_trip_ps(int node, unsigned home)
-    const noexcept {
-  // X-Y hop distance in both directions at one NoC cycle per hop, plus
-  // injection/ejection cycles.
-  const unsigned width = config_.mesh.width;
-  const unsigned sx = static_cast<unsigned>(node) % width;
-  const unsigned sy = static_cast<unsigned>(node) / width;
-  const unsigned dx = home % width;
-  const unsigned dy = home / width;
-  const unsigned hops = (sx > dx ? sx - dx : dx - sx) +
-                        (sy > dy ? sy - dy : dy - sy);
-  return static_cast<sim::TimePs>(2 * (hops + 1)) * config_.noc_hop_ps;
 }
 
 }  // namespace maco::core

@@ -20,6 +20,7 @@
 #include "mem/directory.hpp"
 #include "mem/dram.hpp"
 #include "mem/physical_memory.hpp"
+#include "noc/icnt.hpp"
 #include "noc/link_load_model.hpp"
 #include "noc/mesh.hpp"
 #include "sa/host_matrix.hpp"
@@ -102,8 +103,10 @@ class MacoSystem {
   // ---- memory-system internals (used by the backend/oracle) ----
   mem::DirectoryCcm& ccm_for(vm::PhysAddr pa);
   unsigned ccm_home_node(vm::PhysAddr pa) const noexcept;
-  mem::DramController& dram_for(vm::PhysAddr pa);
-  sim::TimePs noc_round_trip_ps(int node, unsigned home) const noexcept;
+  mem::DramModel& dram_for(vm::PhysAddr pa);
+  // The interconnect backend the `icnt` knob selected (charges NoC time
+  // per line transfer; analytic reproduces the historic hop formula).
+  noc::IcntModel& icnt() noexcept { return *icnt_; }
   // Per-node injection port: serializes a node's outstanding transfers.
   sim::TimePs& node_port_free(int node) { return node_port_free_.at(node); }
   double node_link_bandwidth() const noexcept {
@@ -118,8 +121,9 @@ class MacoSystem {
   mem::PhysicalMemory memory_;
   std::unique_ptr<SystemMemoryBackend> backend_;
   std::vector<std::unique_ptr<WalkMemoryOracle>> walk_oracles_;
-  std::vector<std::unique_ptr<mem::DramController>> drams_;
+  std::vector<std::unique_ptr<mem::DramModel>> drams_;
   std::vector<std::unique_ptr<mem::DirectoryCcm>> ccms_;
+  std::unique_ptr<noc::IcntModel> icnt_;
   std::unique_ptr<noc::MeshNetwork> mesh_;
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
   std::vector<sim::TimePs> node_port_free_;

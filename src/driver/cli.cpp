@@ -188,24 +188,31 @@ CliParse parse_report_cli(const std::vector<std::string>& args) {
   return result;
 }
 
-// `macosim store compact --store FILE`: maintenance of long-lived
-// campaign stores.
+// `macosim store compact --store FILE` and
+// `macosim store import FILE.json --store FILE`: maintenance and seeding
+// of long-lived campaign stores.
 CliParse parse_store_cli(const std::vector<std::string>& args) {
   CliParse result;
   CliOptions& options = result.options;
-  options.command = CliCommand::kStoreCompact;
 
-  if (args.size() < 2 || (args[1] != "compact" && args[1] != "--help" &&
-                          args[1] != "-h")) {
+  if (args.size() < 2 ||
+      (args[1] != "compact" && args[1] != "import" && args[1] != "--help" &&
+       args[1] != "-h")) {
     result.error = "store wants a subcommand: macosim store compact "
+                   "--store FILE, or macosim store import FILE.json "
                    "--store FILE";
     return result;
   }
   if (args[1] == "--help" || args[1] == "-h") {
+    options.command = CliCommand::kStoreCompact;
     options.show_help = true;
     result.ok = true;
     return result;
   }
+  const bool import = args[1] == "import";
+  options.command =
+      import ? CliCommand::kStoreImport : CliCommand::kStoreCompact;
+  const std::string subcommand = "store " + args[1];
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--help" || arg == "-h") {
@@ -218,15 +225,25 @@ CliParse parse_store_cli(const std::vector<std::string>& args) {
         return result;
       }
       options.store_path = args[++i];
+    } else if (import && options.import_path.empty() && !arg.empty() &&
+               arg[0] != '-') {
+      options.import_path = arg;
     } else {
-      result.error = "unknown store compact argument '" + arg +
+      result.error = "unknown " + subcommand + " argument '" + arg +
                      "' (see macosim store --help)";
       return result;
     }
   }
-  if (!options.show_help && options.store_path.empty()) {
-    result.error = "store compact needs --store FILE";
-    return result;
+  if (!options.show_help) {
+    if (import && options.import_path.empty()) {
+      result.error = "store import needs a sweep JSON file: macosim store "
+                     "import FILE.json --store FILE";
+      return result;
+    }
+    if (options.store_path.empty()) {
+      result.error = subcommand + " needs --store FILE";
+      return result;
+    }
   }
   result.ok = true;
   return result;
@@ -387,6 +404,7 @@ std::string usage() {
          "       macosim --list-scenarios\n"
          "       macosim report --store FILE [report options]\n"
          "       macosim store compact --store FILE\n"
+         "       macosim store import FILE.json --store FILE\n"
          "\n"
          "options:\n"
          "  --scenario NAME        scenario to run (see --list-scenarios)\n"
@@ -428,6 +446,13 @@ std::string usage() {
          "                         rewrite the store keeping only the\n"
          "                         latest record per point (drops\n"
          "                         superseded re-run and error records)\n"
+         "  macosim store import FILE.json --store FILE\n"
+         "                         load sweep JSON (--format json output,\n"
+         "                         e.g. a committed BENCH_*.json\n"
+         "                         trajectory) into a store; rows are\n"
+         "                         re-validated and fingerprinted under\n"
+         "                         the current schemas, already-present\n"
+         "                         points are skipped\n"
          "\n"
          "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
          "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"

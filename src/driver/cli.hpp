@@ -11,6 +11,7 @@
 //   macosim report --store campaign.mdb --where nodes=16
 //   macosim report --store new.mdb --compare baseline.mdb --tolerance 0.05
 //   macosim store compact --store campaign.mdb
+//   macosim store import BENCH_dram.json --store baseline.mdb
 //
 // Parsing is pure (no I/O, no exit()) so tests can drive it directly.
 #pragma once
@@ -32,6 +33,7 @@ enum class CliCommand {
   kSweep,         // the default: run/sweep one scenario
   kReport,        // query/compare a campaign store
   kStoreCompact,  // rewrite a store keeping the latest record per point
+  kStoreImport,   // load sweep-runner JSON (e.g. BENCH_*.json) into a store
 };
 
 struct CliOptions {
@@ -48,6 +50,7 @@ struct CliOptions {
   std::string csv_path;       // --csv: empty => default; "-" => stdout
   std::string json_path;      // --json: empty => no JSON output
   std::string store_path;     // --store: campaign database (both commands)
+  std::string import_path;    // store import: the sweep JSON to load
 
   // `report` only:
   std::string compare_path;                   // --compare OTHER_STORE

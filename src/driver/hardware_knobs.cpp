@@ -1,5 +1,7 @@
 #include "driver/hardware_knobs.hpp"
 
+#include "mem/dram.hpp"
+#include "noc/icnt.hpp"
 #include "util/table.hpp"
 
 namespace maco::driver {
@@ -20,6 +22,23 @@ const exp::ParamSchema& hardware_schema() {
     s.u64("dram_channels", d.dram_channels, "DDR channels", 1, 64);
     s.f64("dram_efficiency", d.dram_efficiency,
           "sustained fraction of DDR pin bandwidth", 0.01, 1.0);
+    // Backend traits: which DRAM/interconnect model the detailed machine
+    // instantiates. `simple`/`analytic` preserve the historic behavior.
+    s.enumerant("dram", std::string(mem::dram_kind_name(d.dram.kind)),
+                {"simple", "queued"},
+                "DRAM backend: flat-latency token bucket or banked "
+                "row-buffer model (fidelity=detailed|sampled)");
+    s.enumerant("icnt", std::string(noc::icnt_kind_name(d.icnt)),
+                {"analytic", "flit"},
+                "interconnect backend: X-Y hop formula or flit-level "
+                "link booking (fidelity=detailed|sampled)");
+    s.u64("dram_banks", d.dram.banks, "banks per DDR channel (dram=queued)",
+          1, 64);
+    s.u64("row_buffer_kib", d.dram.row_buffer_bytes / 1024,
+          "row buffer (DRAM page) per bank in KiB (dram=queued)", 1, 64);
+    s.u64("t_rc_ps", d.dram.t_rc_ps,
+          "minimum same-bank ACT-to-ACT spacing in ps (dram=queued)",
+          1'000, 1'000'000);
     s.u64("ccm_count", d.ccm_count, "L3/CCM slices", 1, 64);
     s.u64("matlb_entries", d.mmae.matlb_entries, "mATLB capacity", 1,
           65536);
@@ -47,6 +66,15 @@ const exp::ParamSchema& hardware_schema() {
                 [](const exp::ParamSet& p) {
                   return p.u64("ccm_count") <=
                          p.u64("mesh_width") * p.u64("mesh_height");
+                });
+    // Bank-model knobs are meaningless under the flat controller; setting
+    // one there is a typo or a misunderstanding, not a sweep point.
+    s.constrain("dram_banks/row_buffer_kib/t_rc_ps require dram=queued",
+                [](const exp::ParamSet& p) {
+                  return p.str("dram") == "queued" ||
+                         (!p.was_set("dram_banks") &&
+                          !p.was_set("row_buffer_kib") &&
+                          !p.was_set("t_rc_ps"));
                 });
     return s;
   }();
@@ -108,6 +136,21 @@ void apply_hardware_params(const exp::ParamSet& params,
   if (params.was_set("dram_efficiency")) {
     config.dram_efficiency = params.f64("dram_efficiency");
   }
+  if (params.has("dram")) {
+    config.dram.kind = mem::parse_dram_kind(params.str("dram"));
+  }
+  if (params.has("icnt")) {
+    config.icnt = noc::parse_icnt_kind(params.str("icnt"));
+  }
+  u64_knob("dram_banks", [&](std::uint64_t v) {
+    config.dram.banks = static_cast<unsigned>(v);
+  });
+  u64_knob("row_buffer_kib", [&](std::uint64_t v) {
+    config.dram.row_buffer_bytes = v * 1024;
+  });
+  u64_knob("t_rc_ps", [&](std::uint64_t v) {
+    config.dram.t_rc_ps = static_cast<sim::TimePs>(v);
+  });
 
   // Cross-field constraints the per-value schema cannot express: every
   // node, CCM slice and DDR controller needs a mesh position.

@@ -15,6 +15,7 @@
 #include "driver/cli.hpp"
 #include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
+#include "driver/store_import.hpp"
 #include "driver/sweep_runner.hpp"
 #include "store/campaign_store.hpp"
 #include "store/query.hpp"
@@ -241,6 +242,42 @@ int run_store_compact(const driver::CliOptions& options) {
   }
 }
 
+// The `store import` subcommand: seed/refresh a store from sweep JSON
+// (e.g. a committed BENCH_*.json trajectory). Exit codes: 0 ok, 2
+// usage/IO/validation error.
+int run_store_import(const driver::CliOptions& options) {
+  std::ifstream in(options.import_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "macosim: cannot read " << options.import_path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const driver::ScenarioRegistry registry =
+        driver::ScenarioRegistry::builtin();
+    store::CampaignStore store(options.store_path);
+    const driver::ImportSummary summary =
+        driver::import_sweep_json(registry, text.str(), store);
+    if (!options.quiet) {
+      std::cout << "store '" << options.store_path << "': imported "
+                << summary.imported << " point(s) from "
+                << options.import_path << ", " << summary.skipped
+                << " already present";
+      if (summary.errored > 0) {
+        std::cout << ", " << summary.errored
+                  << " failed row(s) not imported";
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << options.import_path << ": " << error.what()
+              << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +297,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == driver::CliCommand::kStoreCompact) {
     return run_store_compact(options);
+  }
+  if (options.command == driver::CliCommand::kStoreImport) {
+    return run_store_import(options);
   }
 
   const driver::ScenarioRegistry registry =

@@ -9,6 +9,8 @@
 #include "baselines/comparison.hpp"
 #include "core/detailed_runner.hpp"
 #include "core/timing_model.hpp"
+#include "mem/cache.hpp"
+#include "mem/queued_dram.hpp"
 #include "model/area_power.hpp"
 #include "sa/sparse.hpp"
 #include "workloads/dnn_models.hpp"
@@ -50,6 +52,33 @@ CrossRule nodes_fit_hardware_rule() {
       [](const exp::ParamSet& scenario, const exp::ParamSet& hardware) {
         return !scenario.was_set("nodes") ||
                scenario.u64("nodes") <= hardware.u64("node_count");
+      }};
+}
+
+// The dram/icnt backend traits exist on the detailed machine only. For a
+// scenario that declares `fidelity`, an analytic point must keep the
+// default backends (the closed forms have no banked-DRAM/flit terms, so a
+// non-default choice would be silently ignored — make it a typed error
+// naming the valid combos instead).
+CrossRule backends_need_detail_rule() {
+  return CrossRule{
+      "dram=queued|icnt=flit require fidelity=detailed|sampled "
+      "(fidelity=analytic supports dram=simple, icnt=analytic only)",
+      [](const exp::ParamSet& scenario, const exp::ParamSet& hardware) {
+        return scenario.str("fidelity") != "analytic" ||
+               (hardware.str("dram") == "simple" &&
+                hardware.str("icnt") == "analytic");
+      }};
+}
+
+// The same guard for scenarios with no detailed machine at all (no
+// `fidelity` parameter): backend knobs are inapplicable, full stop.
+CrossRule backends_fixed_rule() {
+  return CrossRule{
+      "dram=simple and icnt=analytic (scenario has no detailed machine)",
+      [](const exp::ParamSet&, const exp::ParamSet& hardware) {
+        return hardware.str("dram") == "simple" &&
+               hardware.str("icnt") == "analytic";
       }};
 }
 
@@ -206,6 +235,7 @@ Scenario gemm_scenario() {
                p.u64("size") <= core::kDetailedMaxDim;
       });
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     core::TimingOptions options = timing_options_from(request);
@@ -231,6 +261,7 @@ Scenario hpl_scenario() {
   s.schema.u64("n", 16384, "LU problem size", 1, 1048576);
   s.schema.u64("nb", 256, "panel width", 1, 65535);
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [](const ScenarioRequest& request) {
     return run_workload_layers(
         request,
@@ -249,6 +280,7 @@ Scenario dnn_scenario(std::string name, std::string description,
   s.schema = timing_schema(default_precision, /*default_cooperative=*/true,
                            {"analytic", "sampled"});
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [make_workload = std::move(make_workload)](
               const ScenarioRequest& request) {
     return run_workload_layers(request, make_workload(request));
@@ -306,6 +338,7 @@ Scenario baselines_scenario() {
                      "workload=gemm precision");
   declare_nodes(s.schema, "MACO node count (others are single-node)");
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest& request) {
     const baseline::Comparator comparator(request.config,
                                           active_nodes_from(request));
@@ -340,6 +373,7 @@ Scenario fig6_scenario() {
   s.schema.u64("page_bytes", 4096, "translation page size", 256, 1048576);
   s.schema.enumerant("fidelity", "analytic", {"analytic"},
                      "execution backend");
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -384,6 +418,7 @@ Scenario fig7_scenario() {
                p.u64("size") <= core::kDetailedMaxDim;
       });
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -411,6 +446,7 @@ Scenario fig8_scenario() {
       "PEs)";
   declare_nodes(s.schema, "MACO node count");
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest& request) {
     const baseline::Comparator comparator(request.config,
                                           active_nodes_from(request));
@@ -454,6 +490,7 @@ Scenario ablation_scenario() {
   s.schema.enumerant("fidelity", "analytic", {"analytic"},
                      "execution backend");
   s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -485,6 +522,7 @@ Scenario area_power_scenario() {
   s.description =
       "Table IV: CPU vs MMAE area/power model and the paper's efficiency "
       "ratios";
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest&) {
     const model::AreaPowerModel m;
     const model::UnitSummary cpu = m.cpu_summary();
@@ -525,6 +563,7 @@ Scenario sparsity_scenario() {
   s.schema.constrain("kept <= group", [](const exp::ParamSet& p) {
     return p.u64("kept") <= p.u64("group");
   });
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest& request) {
     const sa::TileShape shape{request.params.u64("m"),
                               request.params.u64("n"),
@@ -552,6 +591,7 @@ Scenario tables_scenario() {
   s.description =
       "Tables I-III sanity metrics: key architectural parameters as "
       "implemented";
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest& request) {
     const core::SystemConfig& config = request.config;
     ScenarioResult result;
@@ -586,6 +626,7 @@ Scenario micro_components_scenario() {
   s.schema.u64("size", 2048, "square GEMM evaluated per iteration", 1,
                1048576);
   s.schema.u64("iterations", 20, "model evaluations to time", 1, 100000);
+  s.cross_rules.push_back(backends_fixed_rule());
   s.run = [](const ScenarioRequest& request) {
     const core::SystemTimingModel model(request.config);
     core::TimingOptions options;
@@ -609,6 +650,63 @@ Scenario micro_components_scenario() {
                "1/s");
     result.add("mean_efficiency",
                checksum / static_cast<double>(iterations));
+    return result;
+  };
+  return s;
+}
+
+Scenario micro_dram_scenario() {
+  Scenario s;
+  s.name = "micro_dram";
+  s.description =
+      "DRAM backend micro-bench: a fixed-stride line-read stream driven "
+      "straight into dram=simple|queued (deterministic, no machine)";
+  s.schema.u64("accesses", 4096, "64B line reads issued", 1, 10'000'000);
+  s.schema.u64("stride_bytes", 64,
+               "address stride between consecutive reads (row_buffer_kib*"
+               "1024*dram_banks lands every read in one bank)",
+               1, 1u << 30);
+  s.schema.u64("issue_gap_ps", 0,
+               "idle time between issues; 0 saturates the channel", 0,
+               1'000'000'000);
+  // This scenario never touches the NoC, and the hardware-schema
+  // constraint already ties the bank knobs to dram=queued; reject the one
+  // remaining inapplicable trait explicitly.
+  s.cross_rules.push_back(CrossRule{
+      "icnt=analytic (micro_dram exercises the DRAM model only)",
+      [](const exp::ParamSet&, const exp::ParamSet& hardware) {
+        return hardware.str("icnt") == "analytic";
+      }});
+  s.run = [](const ScenarioRequest& request) {
+    const auto dram = mem::make_dram_model("micro", request.config.dram);
+    const std::uint64_t accesses = request.params.u64("accesses");
+    const std::uint64_t stride = request.params.u64("stride_bytes");
+    const auto gap =
+        static_cast<sim::TimePs>(request.params.u64("issue_gap_ps"));
+    sim::TimePs makespan = 0;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+      const sim::TimePs done =
+          dram->access(static_cast<sim::TimePs>(i) * gap, i * stride,
+                       mem::kLineBytes);
+      makespan = std::max(makespan, done);
+    }
+    ScenarioResult result;
+    result.add("makespan_us", static_cast<double>(makespan) / 1e6, "us",
+               /*higher_is_better=*/false);
+    result.add("reads_per_us",
+               makespan > 0
+                   ? static_cast<double>(accesses) /
+                         (static_cast<double>(makespan) / 1e6)
+                   : 0.0,
+               "1/us");
+    result.add("bus_utilization", dram->utilization(makespan));
+    if (const auto* queued =
+            dynamic_cast<const mem::QueuedDramController*>(dram.get())) {
+      result.add("row_hit_rate", queued->row_hit_rate());
+      result.add("row_conflicts",
+                 static_cast<double>(queued->row_conflicts()), "",
+                 /*higher_is_better=*/false);
+    }
     return result;
   };
   return s;
@@ -692,6 +790,7 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   registry.add(sparsity_scenario());
   registry.add(tables_scenario());
   registry.add(micro_components_scenario());
+  registry.add(micro_dram_scenario());
   return registry;
 }
 

@@ -1,0 +1,41 @@
+// `macosim store import`: load sweep-runner JSON into a campaign store.
+//
+// The sweep runner's JSON output (driver/sweep_runner.cpp, write_json) is
+// the interchange format for committed benchmark trajectories: a canonical
+// sweep's results live in the repository as BENCH_*.json, CI imports them
+// into a store and `macosim report --compare` gates fresh runs against
+// them. Import does NOT trust the file's identity: every row's parameters
+// are re-bound through the current scenario and hardware schemas — typed
+// validation, cross-schema rules, canonicalization and fingerprinting all
+// run exactly as they would for a live sweep — so a committed trajectory
+// whose schema has since drifted fails loudly instead of silently
+// mismatching every point.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "driver/scenario_registry.hpp"
+#include "store/campaign_store.hpp"
+
+namespace maco::driver {
+
+struct ImportSummary {
+  std::size_t imported = 0;  // rows appended to the store
+  std::size_t skipped = 0;   // rows whose point the store already had
+  std::size_t errored = 0;   // rows with a recorded error (not imported:
+                             // a failed run carries no reusable result)
+};
+
+// Parses `json_text` (write_json format: scenario, metric columns, rows of
+// params + metrics) and appends each row to `store` as a CampaignRecord
+// fingerprinted under the CURRENT schema digest. Rows already present in
+// the store (same fingerprint and schema hash, error-free) are skipped, so
+// importing the same trajectory twice is idempotent. Throws
+// std::invalid_argument / std::runtime_error naming the offending row on
+// malformed input, unknown scenarios/parameters, or rule violations.
+ImportSummary import_sweep_json(const ScenarioRegistry& registry,
+                                const std::string& json_text,
+                                store::CampaignStore& store);
+
+}  // namespace maco::driver

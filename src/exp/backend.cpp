@@ -160,6 +160,17 @@ Fidelity parse_fidelity(std::string_view name) {
 
 std::unique_ptr<ExecutionBackend> make_backend(
     Fidelity fidelity, const core::SystemConfig& config) {
+  // Backstop behind the declared cross-schema rules, for callers that
+  // build a SystemConfig directly: the analytic closed forms have no
+  // banked-DRAM or flit-level interconnect terms, so a non-default
+  // backend there would be silently ignored.
+  if (fidelity == Fidelity::kAnalytic &&
+      (config.dram.kind != mem::DramKind::kSimple ||
+       config.icnt != noc::IcntKind::kAnalytic)) {
+    throw std::invalid_argument(
+        "fidelity=analytic supports only dram=simple with icnt=analytic; "
+        "run dram=queued or icnt=flit under fidelity=detailed|sampled");
+  }
   switch (fidelity) {
     case Fidelity::kAnalytic:
       return std::make_unique<AnalyticBackend>(config);

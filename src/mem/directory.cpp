@@ -5,7 +5,7 @@
 namespace maco::mem {
 
 DirectoryCcm::DirectoryCcm(std::string name, const CcmConfig& config,
-                           DramController& dram, RecallFn recall)
+                           DramModel& dram, RecallFn recall)
     : name_(std::move(name)), config_(config), dram_(dram),
       recall_(std::move(recall)), l3_(name_ + ".l3", config.l3) {}
 
@@ -34,13 +34,13 @@ sim::TimePs DirectoryCcm::ensure_in_l3(std::uint64_t line, sim::TimePs now,
   // Victim writeback rides the same DRAM bus before the fill.
   sim::TimePs t = now + config_.l3_latency_ps;
   if (result.evicted && result.victim_dirty) {
-    t = dram_.access(t, kLineBytes);
+    t = dram_.access(t, victim_line(result.victim_addr), kLineBytes);
   }
   if (!result.allocated) {
     // All ways locked: serve uncached straight from DRAM.
-    return dram_.access(t, kLineBytes) - now;
+    return dram_.access(t, line, kLineBytes) - now;
   }
-  return dram_.access(t, kLineBytes) - now;
+  return dram_.access(t, line, kLineBytes) - now;
 }
 
 CcmResponse DirectoryCcm::handle(const CcmRequest& request, sim::TimePs now,
@@ -124,14 +124,17 @@ CcmResponse DirectoryCcm::handle(const CcmRequest& request, sim::TimePs now,
       response.l3_hit = result.hit;
       if (result.evicted && result.victim_dirty) {
         // Posted victim writeback: books the bus, off the critical path.
-        if (queue_dram) dram_.access(now + response.latency, kLineBytes);
+        if (queue_dram) {
+          dram_.access(now + response.latency,
+                       victim_line(result.victim_addr), kLineBytes);
+        }
         response.dram_accessed = true;
       }
       if (!result.allocated) {
         // Every way locked: the store streams straight to DRAM.
         response.dram_accessed = true;
         response.latency += queue_dram ? dram_.access(now + response.latency,
-                                                      kLineBytes) -
+                                                      line, kLineBytes) -
                                              (now + response.latency)
                                        : dram_.service_latency(kLineBytes);
       }

@@ -60,7 +60,7 @@ class DirectoryCcm {
       std::function<sim::TimePs(int owner_node, std::uint64_t line)>;
 
   DirectoryCcm(std::string name, const CcmConfig& config,
-               DramController& dram, RecallFn recall = {});
+               DramModel& dram, RecallFn recall = {});
 
   // `queue_dram = false` computes DRAM latency from service times without
   // booking the shared data bus — for requests whose issue time is unknown
@@ -98,9 +98,18 @@ class DirectoryCcm {
   sim::TimePs ensure_in_l3(std::uint64_t line, sim::TimePs now,
                            CcmResponse& response, bool queue_dram);
 
+  // Physical line address of the cache-space victim `l3_` reports. The
+  // cache reconstructs victims at line granularity, so the interleave
+  // offset inside the cache line is lost — the result lands in the
+  // victim's row-buffer neighborhood, which is all a banked DRAM model
+  // needs from a writeback address.
+  std::uint64_t victim_line(std::uint64_t victim_cache_addr) const noexcept {
+    return victim_cache_addr * config_.slice_interleave;
+  }
+
   std::string name_;
   CcmConfig config_;
-  DramController& dram_;
+  DramModel& dram_;
   RecallFn recall_;
   SetAssocCache l3_;
   std::unordered_map<std::uint64_t, DirEntry> directory_;

@@ -1,0 +1,51 @@
+#include "mem/queued_dram.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace maco::mem {
+
+QueuedDramController::QueuedDramController(std::string name,
+                                           const DramConfig& config)
+    : DramModel(std::move(name), config) {
+  MACO_ASSERT_MSG(config.banks > 0, this->name() << ": banks must be > 0");
+  MACO_ASSERT_MSG(config.row_buffer_bytes > 0,
+                  this->name() << ": row_buffer_bytes must be > 0");
+  banks_.resize(config.banks);
+}
+
+sim::TimePs QueuedDramController::access(sim::TimePs now, std::uint64_t addr,
+                                         std::uint64_t bytes) {
+  Bank& bank = banks_[bank_of(addr)];
+  const auto row = static_cast<std::int64_t>(row_of(addr));
+
+  // Per-bank FCFS: the command issues once the request has arrived and the
+  // bank has drained its queue.
+  sim::TimePs t = std::max(now, bank.free_at);
+  if (bank.open_row == row) {
+    ++row_hits_;
+    t += config().t_cas_ps;
+  } else {
+    if (bank.open_row >= 0) {
+      ++row_conflicts_;
+      t += config().t_rp_ps;  // close the open row first
+    } else {
+      ++row_misses_;
+    }
+    const sim::TimePs act = std::max(t, bank.act_allowed_at);
+    bank.act_allowed_at = act + config().t_rc_ps;
+    bank.open_row = row;
+    t = act + config().t_rcd_ps + config().t_cas_ps;
+  }
+
+  // Data from every bank serializes on the channel's shared bus.
+  const sim::TimePs xfer = transfer_ps(bytes);
+  const sim::TimePs start = std::max(t, bus_free_at_);
+  bus_free_at_ = start + xfer;
+  bank.free_at = bus_free_at_;
+  record(bytes, xfer);
+  return bus_free_at_;
+}
+
+}  // namespace maco::mem

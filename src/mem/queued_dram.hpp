@@ -1,0 +1,68 @@
+// `dram=queued`: a vendored banked row-buffer DRAM channel model.
+//
+// One channel is M banks sharing one data bus. Each bank holds one DRAM
+// page (row) open; an access classifies as a row HIT (column command only),
+// a row MISS against a precharged bank (activate first), or a row CONFLICT
+// (precharge the open row, then activate), with ACT-to-ACT spacing (t_rc)
+// enforced per bank. Requests to one bank serve FCFS; data transfers from
+// all banks serialize on the channel bus. Consecutive row-buffer-sized
+// address blocks interleave across banks, so streaming traffic spreads
+// while same-bank strides collide — turning bank conflicts into a
+// first-class, sweepable effect. No external dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/dram.hpp"
+
+namespace maco::mem {
+
+class QueuedDramController final : public DramModel {
+ public:
+  QueuedDramController(std::string name, const DramConfig& config);
+
+  sim::TimePs access(sim::TimePs now, std::uint64_t addr,
+                     std::uint64_t bytes) override;
+  sim::TimePs busy_until() const noexcept override { return bus_free_at_; }
+
+  // Address interleaving: consecutive row-buffer-sized blocks rotate
+  // across banks; the row is the block index within a bank.
+  unsigned bank_of(std::uint64_t addr) const noexcept {
+    return static_cast<unsigned>((addr / config().row_buffer_bytes) %
+                                 config().banks);
+  }
+  std::uint64_t row_of(std::uint64_t addr) const noexcept {
+    return addr / (config().row_buffer_bytes * config().banks);
+  }
+  // Inverse of (bank_of, row_of, offset within the row buffer).
+  std::uint64_t addr_of(unsigned bank, std::uint64_t row,
+                        std::uint64_t offset) const noexcept {
+    return (row * config().banks + bank) * config().row_buffer_bytes + offset;
+  }
+
+  std::uint64_t row_hits() const noexcept { return row_hits_; }
+  std::uint64_t row_misses() const noexcept { return row_misses_; }
+  std::uint64_t row_conflicts() const noexcept { return row_conflicts_; }
+  double row_hit_rate() const noexcept {
+    const std::uint64_t total = row_hits_ + row_misses_ + row_conflicts_;
+    return total ? static_cast<double>(row_hits_) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  struct Bank {
+    std::int64_t open_row = -1;      // -1 = precharged (no open row)
+    sim::TimePs free_at = 0;         // FCFS: prior request's completion
+    sim::TimePs act_allowed_at = 0;  // earliest next ACT (t_rc spacing)
+  };
+
+  std::vector<Bank> banks_;
+  sim::TimePs bus_free_at_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t row_conflicts_ = 0;
+};
+
+}  // namespace maco::mem

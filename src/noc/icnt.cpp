@@ -1,0 +1,169 @@
+#include "noc/icnt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace maco::noc {
+namespace {
+
+// Directed-link directions, matching LinkLoadModel's link set.
+enum : unsigned { kEject = 0, kNorthL = 1, kSouthL = 2, kEastL = 3, kWestL = 4 };
+
+// Visits each directed link on the X-Y route src -> dst, including the
+// final ejection port (X first, then Y, matching Router::route).
+template <typename Fn>
+void for_each_link(unsigned width, unsigned src, unsigned dst, Fn&& fn) {
+  unsigned x = src % width;
+  unsigned y = src / width;
+  const unsigned dx = dst % width;
+  const unsigned dy = dst / width;
+  while (x != dx) {
+    const unsigned node = y * width + x;
+    if (dx > x) {
+      fn(node * 5 + kEastL);
+      ++x;
+    } else {
+      fn(node * 5 + kWestL);
+      --x;
+    }
+  }
+  while (y != dy) {
+    const unsigned node = y * width + x;
+    if (dy > y) {
+      fn(node * 5 + kSouthL);
+      ++y;
+    } else {
+      fn(node * 5 + kNorthL);
+      --y;
+    }
+  }
+  fn(dst * 5 + kEject);
+}
+
+}  // namespace
+
+std::string_view icnt_kind_name(IcntKind kind) noexcept {
+  switch (kind) {
+    case IcntKind::kAnalytic: return "analytic";
+    case IcntKind::kFlit: return "flit";
+  }
+  return "?";
+}
+
+IcntKind parse_icnt_kind(std::string_view name) {
+  if (name == "analytic") return IcntKind::kAnalytic;
+  if (name == "flit") return IcntKind::kFlit;
+  throw std::invalid_argument("unknown icnt backend '" + std::string(name) +
+                              "' (want analytic|flit)");
+}
+
+IcntModel::IcntModel(const IcntConfig& config) : config_(config) {
+  MACO_ASSERT(config.width > 0 && config.height > 0);
+}
+
+IcntModel::~IcntModel() = default;
+
+unsigned IcntModel::hop_count(unsigned src, unsigned dst) const noexcept {
+  const unsigned sx = src % config_.width;
+  const unsigned sy = src / config_.width;
+  const unsigned dx = dst % config_.width;
+  const unsigned dy = dst / config_.width;
+  return (sx > dx ? sx - dx : dx - sx) + (sy > dy ? sy - dy : dy - sy);
+}
+
+// ---------------- AnalyticIcnt ----------------
+
+sim::TimePs AnalyticIcnt::unloaded_round_trip_ps(
+    int node, unsigned home, std::uint32_t /*bytes*/) const {
+  const unsigned hops = hop_count(static_cast<unsigned>(node), home);
+  return static_cast<sim::TimePs>(2 * (hops + 1)) * config_.hop_ps;
+}
+
+sim::TimePs AnalyticIcnt::request_leg_ps(sim::TimePs /*now*/, int /*node*/,
+                                         unsigned /*home*/) {
+  // Zero so the home slice is consulted at injection time — exactly what
+  // the pre-trait closed form did; the response leg carries the whole
+  // round trip.
+  return 0;
+}
+
+sim::TimePs AnalyticIcnt::response_leg_ps(sim::TimePs /*now*/, unsigned home,
+                                          int node, std::uint32_t bytes) {
+  return unloaded_round_trip_ps(node, home, bytes);
+}
+
+// ---------------- FlitIcnt ----------------
+
+FlitIcnt::FlitIcnt(const IcntConfig& config)
+    : IcntModel(config),
+      link_free_(static_cast<std::size_t>(config.width) * config.height * 5,
+                 0) {
+  MACO_ASSERT(config.flit_bytes > 0 && config.cycle_ps > 0);
+}
+
+unsigned FlitIcnt::flits_for(std::uint32_t payload_bytes) const noexcept {
+  return static_cast<unsigned>(util::ceil_div(
+      payload_bytes + config_.header_bytes, config_.flit_bytes));
+}
+
+sim::TimePs FlitIcnt::traverse(sim::TimePs start, unsigned src, unsigned dst,
+                               unsigned flits,
+                               std::vector<sim::TimePs>* link_free) const {
+  // Wormhole pipeline: the head flit advances one link per cycle, the body
+  // streams behind it; each link stays occupied for the packet's full flit
+  // count, so a contending packet waits for the tail to pass.
+  sim::TimePs head = start;
+  for_each_link(config_.width, src, dst, [&](unsigned link) {
+    sim::TimePs enter = head;
+    if (link_free != nullptr) {
+      enter = std::max(enter, (*link_free)[link]);
+      (*link_free)[link] =
+          enter + static_cast<sim::TimePs>(flits) * config_.cycle_ps;
+    }
+    head = enter + config_.cycle_ps;
+  });
+  return head + static_cast<sim::TimePs>(flits - 1) * config_.cycle_ps;
+}
+
+sim::TimePs FlitIcnt::unloaded_round_trip_ps(int node, unsigned home,
+                                             std::uint32_t bytes) const {
+  const auto src = static_cast<unsigned>(node);
+  const sim::TimePs arrive = traverse(0, src, home, 1, nullptr);
+  return traverse(arrive, home, src, flits_for(bytes), nullptr);
+}
+
+sim::TimePs FlitIcnt::busy_horizon_ps() const noexcept {
+  return *std::max_element(link_free_.begin(), link_free_.end());
+}
+
+sim::TimePs FlitIcnt::request_leg_ps(sim::TimePs now, int node,
+                                     unsigned home) {
+  ++transfers_;
+  // Header-only request packet.
+  return traverse(now, static_cast<unsigned>(node), home, 1, &link_free_) -
+         now;
+}
+
+sim::TimePs FlitIcnt::response_leg_ps(sim::TimePs now, unsigned home,
+                                      int node, std::uint32_t bytes) {
+  // Payload wormhole back to the requester.
+  return traverse(now, home, static_cast<unsigned>(node), flits_for(bytes),
+                  &link_free_) -
+         now;
+}
+
+std::unique_ptr<IcntModel> make_icnt_model(const IcntConfig& config) {
+  switch (config.kind) {
+    case IcntKind::kAnalytic:
+      return std::make_unique<AnalyticIcnt>(config);
+    case IcntKind::kFlit:
+      return std::make_unique<FlitIcnt>(config);
+  }
+  throw std::invalid_argument("unknown icnt backend kind");
+}
+
+}  // namespace maco::noc

@@ -1,0 +1,326 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+
+namespace maco::util {
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) noexcept {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void wrong_kind(JsonValue::Kind want, JsonValue::Kind got) {
+  throw std::runtime_error(std::string("JSON value is ") + kind_name(got) +
+                           ", expected " + kind_name(want));
+}
+
+// Recursive-descent parser over a string_view with a cursor; every error
+// carries the byte offset where parsing stopped.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("bad literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("bad literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("bad literal (expected 'null')");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return JsonValue::object(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return JsonValue::array(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t code = parse_hex4();
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          // \uDFFF; combine them into one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!consume_literal("\\u")) fail("unpaired high surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("bad low surrogate in \\u pair");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) wrong_kind(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) wrong_kind(Kind::kNumber, kind_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) wrong_kind(Kind::kString, kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) wrong_kind(Kind::kArray, kind_);
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+  if (kind_ != Kind::kObject) wrong_kind(Kind::kObject, kind_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace maco::util
