@@ -1,0 +1,165 @@
+// Simulator-throughput micro-bench for the detailed backend: how many
+// simulated MMAE cycles per wall-clock second each exec mode sustains on a
+// detailed GEMM, and the event-vs-lockstep speedup ratio.
+//
+// The ratio (not the absolute rates, which depend on the host machine) is
+// what the CI perf gate tracks; `macosim --scenario speed --json ...`
+// produces the committed BENCH_speed.json baseline in store-import format.
+// This standalone binary is the interactive companion: sweep sizes and node
+// counts, print the full table, optionally write the same JSON.
+//
+// Usage: bench_detailed_throughput [--size N]... [--nodes N] [--reps N]
+//                                  [--json FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/detailed_runner.hpp"
+#include "core/timing_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maco;
+
+struct Measurement {
+  std::uint64_t size = 0;
+  double event_mcyc_per_s = 0.0;
+  double lockstep_mcyc_per_s = 0.0;
+  double speedup = 0.0;
+  bool makespan_match = false;
+};
+
+double best_wall_seconds(const core::SystemConfig& config,
+                         const core::TimingOptions& options,
+                         std::uint64_t reps, sim::TimePs* makespan_ps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const core::SystemTiming timing =
+        core::run_detailed_gemm(config, options);
+    const auto end = std::chrono::steady_clock::now();
+    best =
+        std::min(best, std::chrono::duration<double>(end - start).count());
+    *makespan_ps = timing.makespan_ps;
+  }
+  return std::max(best, 1e-9);
+}
+
+Measurement measure(std::uint64_t size, unsigned nodes, std::uint64_t reps) {
+  core::SystemConfig config = core::SystemConfig::maco_default();
+  core::TimingOptions options;
+  options.shape = sa::TileShape{size, size, size};
+  options.precision = sa::Precision::kFp64;
+  options.active_nodes = nodes;
+
+  sim::TimePs event_ps = 0;
+  sim::TimePs lockstep_ps = 0;
+  config.exec = core::ExecMode::kEventDriven;
+  const double event_s = best_wall_seconds(config, options, reps, &event_ps);
+  config.exec = core::ExecMode::kLockstep;
+  const double lockstep_s =
+      best_wall_seconds(config, options, reps, &lockstep_ps);
+
+  // Simulated work in MMAE cycles (both modes cover the same makespan).
+  const auto mcycles = [&](sim::TimePs makespan) {
+    return static_cast<double>(makespan) * config.mmae.frequency_hz / 1e12 /
+           1e6;
+  };
+  Measurement m;
+  m.size = size;
+  m.event_mcyc_per_s = mcycles(event_ps) / event_s;
+  m.lockstep_mcyc_per_s = mcycles(lockstep_ps) / lockstep_s;
+  m.speedup = m.lockstep_mcyc_per_s > 0.0
+                  ? m.event_mcyc_per_s / m.lockstep_mcyc_per_s
+                  : 0.0;
+  m.makespan_match = event_ps == lockstep_ps;
+  return m;
+}
+
+void write_json(const std::string& path, const Measurement& m,
+                unsigned nodes, std::uint64_t reps) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"scenario\": \"speed\",\n"
+      << "  \"columns\": [\n"
+      << "    {\"name\": \"speedup_event_vs_lockstep\", \"unit\": \"\", "
+         "\"higher_is_better\": true},\n"
+      << "    {\"name\": \"makespan_match\", \"unit\": \"\", "
+         "\"higher_is_better\": true}\n"
+      << "  ],\n"
+      << "  \"rows\": [\n"
+      << "    {\n"
+      << "      \"params\": {\"nodes\": \"" << nodes << "\", \"reps\": \""
+      << reps << "\", \"size\": \"" << m.size << "\"},\n"
+      << "      \"metrics\": {\"speedup_event_vs_lockstep\": " << m.speedup
+      << ", \"makespan_match\": " << (m.makespan_match ? "1.0" : "0.0")
+      << "}\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> sizes;
+  unsigned nodes = 4;
+  std::uint64_t reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_detailed_throughput: " << arg
+                  << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--size") {
+      sizes.push_back(std::stoull(value()));
+    } else if (arg == "--nodes") {
+      nodes = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--reps") {
+      reps = std::stoull(value());
+    } else if (arg == "--json") {
+      json_path = value();
+    } else {
+      std::cerr << "usage: bench_detailed_throughput [--size N]... "
+                   "[--nodes N] [--reps N] [--json FILE]\n";
+      return 2;
+    }
+  }
+  if (sizes.empty()) sizes = {128, 256};
+
+  maco::util::Table t({"Size", "Nodes", "Event Mcyc/s", "Lockstep Mcyc/s",
+                       "Speedup", "Makespan match"});
+  Measurement last;
+  for (const std::uint64_t size : sizes) {
+    last = measure(size, nodes, reps);
+    auto row = t.row();
+    row.cell(std::to_string(size));
+    row.cell(std::to_string(nodes));
+    row.cell(last.event_mcyc_per_s);
+    row.cell(last.lockstep_mcyc_per_s);
+    row.cell(last.speedup);
+    row.cell(last.makespan_match ? "yes" : "NO");
+  }
+  std::cout << "bench_detailed_throughput: simulated MMAE cycles per "
+               "wall-second, exec=event vs exec=lockstep\n";
+  t.print(std::cout);
+
+  if (!json_path.empty()) {
+    // Baseline rows mirror the CI gate's --set flags; the last size wins.
+    write_json(json_path, last, nodes, reps);
+    std::cout << "wrote " << json_path << " (size=" << last.size
+              << " nodes=" << nodes << " reps=" << reps << ")\n";
+  }
+  return 0;
+}

@@ -1,6 +1,19 @@
 #include "core/config.hpp"
 
+#include <stdexcept>
+
 namespace maco::core {
+
+const char* exec_mode_name(ExecMode mode) noexcept {
+  return mode == ExecMode::kLockstep ? "lockstep" : "event";
+}
+
+ExecMode parse_exec_mode(const std::string& name) {
+  if (name == "event") return ExecMode::kEventDriven;
+  if (name == "lockstep") return ExecMode::kLockstep;
+  throw std::invalid_argument("unknown exec mode '" + name +
+                              "' (expected event|lockstep)");
+}
 
 SystemConfig SystemConfig::maco_default() {
   SystemConfig config;

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "cpu/core.hpp"
 #include "mem/directory.hpp"
@@ -17,6 +18,19 @@
 
 namespace maco::core {
 
+// How the detailed machine advances time. Both modes produce bit-identical
+// makespans (pinned by tests/test_equivalence.cpp):
+//  - kEventDriven (default): the engine jumps the clock to the next pending
+//    event or clock-domain edge (quiescence fast-forward), and the systolic
+//    array evaluates its result directly in the array's accumulation order;
+//  - kLockstep: the reference drive — per-cycle mesh self-scheduling and
+//    register-level PE simulation. ~10-25× slower; kept for equivalence
+//    testing and as the baseline of the `speed` scenario / perf gate.
+enum class ExecMode : unsigned { kEventDriven = 0, kLockstep = 1 };
+
+const char* exec_mode_name(ExecMode mode) noexcept;
+ExecMode parse_exec_mode(const std::string& name);
+
 struct SystemConfig {
   unsigned node_count = 16;  // up to 16 homogeneous compute nodes
   cpu::CpuConfig cpu{};
@@ -28,6 +42,7 @@ struct SystemConfig {
   unsigned dram_channels = 4;
   mem::DramConfig dram{};                   // per-channel backend + timings
   noc::IcntKind icnt = noc::IcntKind::kAnalytic;  // detailed-machine NoC
+  ExecMode exec = ExecMode::kEventDriven;   // detailed-machine scheduler
 
   // Fast-model latency constants (calibrated; see DESIGN.md §5).
   sim::TimePs noc_hop_ps = 500;            // one NoC cycle per hop

@@ -101,6 +101,13 @@ sim::TimePs WalkMemoryOracle::read_latency(vm::PhysAddr addr,
 // ---------------- MacoSystem ----------------
 
 MacoSystem::MacoSystem(const SystemConfig& config) : config_(config) {
+  // The exec mode selects both time-advance strategies at once: the mesh's
+  // drive (clock-domain jumps vs one event per NoC cycle) and the systolic
+  // array's functional path (direct order-preserving evaluation vs
+  // register-level PE simulation). Both pairs are bit-equivalent.
+  config_.mesh.event_driven = config_.exec == ExecMode::kEventDriven;
+  config_.mmae.sa.exact_pe_sim = config_.exec == ExecMode::kLockstep;
+
   backend_ = std::make_unique<SystemMemoryBackend>(*this);
 
   drams_.reserve(config_.dram_channels);

@@ -32,6 +32,11 @@ const exp::ParamSchema& hardware_schema() {
                 {"analytic", "flit"},
                 "interconnect backend: X-Y hop formula or flit-level "
                 "link booking (fidelity=detailed|sampled)");
+    s.enumerant("exec", std::string(core::exec_mode_name(d.exec)),
+                {"event", "lockstep"},
+                "detailed-machine time advance: event-driven with "
+                "quiescence fast-forward or the bit-equivalent lock-step "
+                "reference (fidelity=detailed|sampled)");
     s.u64("dram_banks", d.dram.banks, "banks per DDR channel (dram=queued)",
           1, 64);
     s.u64("row_buffer_kib", d.dram.row_buffer_bytes / 1024,
@@ -141,6 +146,9 @@ void apply_hardware_params(const exp::ParamSet& params,
   }
   if (params.has("icnt")) {
     config.icnt = noc::parse_icnt_kind(params.str("icnt"));
+  }
+  if (params.has("exec")) {
+    config.exec = core::parse_exec_mode(params.str("exec"));
   }
   u64_knob("dram_banks", [&](std::uint64_t v) {
     config.dram.banks = static_cast<unsigned>(v);

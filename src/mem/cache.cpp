@@ -27,16 +27,22 @@ SetAssocCache::SetAssocCache(std::string name, const CacheConfig& config)
   sets_ = lines / config.ways;
   // Non-power-of-two set counts are legal (the paper's 48 KB 4-way L1s have
   // 192 sets); indexing falls back from mask to modulo in that case.
+  line_shift_ = util::log2_floor(config.line_bytes);
+  if (util::is_pow2(sets_)) {
+    set_mask_ = sets_ - 1;
+    set_shift_ = util::log2_floor(sets_);
+  }
   lines_.resize(lines);
 }
 
 std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const noexcept {
-  const std::uint64_t line = addr / config_.line_bytes;
-  return util::is_pow2(sets_) ? (line & (sets_ - 1)) : (line % sets_);
+  const std::uint64_t line = addr >> line_shift_;
+  return set_mask_ ? (line & set_mask_) : (line % sets_);
 }
 
 std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const noexcept {
-  return addr / config_.line_bytes / sets_;
+  const std::uint64_t line = addr >> line_shift_;
+  return set_mask_ ? (line >> set_shift_) : (line / sets_);
 }
 
 SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) {

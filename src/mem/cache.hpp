@@ -98,6 +98,12 @@ class SetAssocCache {
   std::string name_;
   CacheConfig config_;
   std::uint64_t sets_;
+  // Index/tag arithmetic runs on every simulated memory reference, so the
+  // divisions are precomputed into shifts where the geometry is a power of
+  // two (line size always is; set counts like the L1's 192 are not).
+  unsigned line_shift_ = 6;
+  unsigned set_shift_ = 0;   // valid iff set_mask_ != 0
+  std::uint64_t set_mask_ = 0;  // sets_ - 1 when sets_ is a power of two
   std::vector<Line> lines_;  // sets_ * ways, row-major by set
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

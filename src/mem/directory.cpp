@@ -7,7 +7,12 @@ namespace maco::mem {
 DirectoryCcm::DirectoryCcm(std::string name, const CcmConfig& config,
                            DramModel& dram, RecallFn recall)
     : name_(std::move(name)), config_(config), dram_(dram),
-      recall_(std::move(recall)), l3_(name_ + ".l3", config.l3) {}
+      recall_(std::move(recall)), l3_(name_ + ".l3", config.l3) {
+  // The directory tracks every line ever touched, which dwarfs L3 residency
+  // on big runs; pre-sizing to several L3 populations absorbs the rehash
+  // storms the per-line handle() path otherwise pays while the map grows.
+  directory_.reserve(4 * config.l3.size_bytes / config.l3.line_bytes);
+}
 
 DirectoryCcm::DirEntry& DirectoryCcm::entry(std::uint64_t line) {
   return directory_[line];

@@ -31,10 +31,15 @@ struct DramConfig {
   sim::TimePs access_latency_ps = 60'000;      // row activation + CAS, ~60 ns
   DramKind kind = DramKind::kSimple;
 
-  // Banked model (kind == kQueued) only. The command timings are chosen so
-  // a closed-row access (t_rcd + t_cas) equals access_latency_ps: at low
-  // load with cold rows the two backends agree by construction, while row
-  // hits come in cheaper and row conflicts dearer.
+  // Banked model (kind == kQueued) only.
+  //
+  // Calibration invariant: the command timings are chosen so a cold
+  // closed-row access (t_rcd + t_cas) equals the flat model's
+  // access_latency_ps exactly. At low load with cold rows the two
+  // backends therefore agree by construction — row hits come in cheaper,
+  // row conflicts dearer — and tests/test_backends.cpp pins the
+  // invariant, so retune t_rcd_ps/t_cas_ps and access_latency_ps
+  // together or the cross-validation suite fails.
   unsigned banks = 8;                     // banks per channel
   std::uint64_t row_buffer_bytes = 2048;  // DRAM page held open per bank
   sim::TimePs t_rcd_ps = 30'000;  // ACT -> column command
@@ -56,6 +61,12 @@ class DramModel {
 
   // Schedules a `bytes`-sized transfer of physical address `addr` arriving
   // at `now`; returns the absolute completion time.
+  //
+  // Arrival-time servicing rule: `now` is when the request REACHES the
+  // controller (e.g. after the interconnect's request leg), never the
+  // time it was issued upstream. Queueing backends charge waiting from
+  // `now` forward; passing an earlier timestamp bills the same backlog
+  // twice — once in the network wait, once in the bank queue.
   virtual sim::TimePs access(sim::TimePs now, std::uint64_t addr,
                              std::uint64_t bytes) = 0;
 

@@ -48,12 +48,16 @@ class IcntModel {
   IcntModel& operator=(const IcntModel&) = delete;
 
   // One line transfer is two legs: the request travels node -> home, the
-  // home slice services it (L3 / DRAM — charged by the caller between the
-  // legs, at the request's ARRIVAL time so a queueing backend never
-  // double-counts backlog that the network wait already covered), then
-  // `bytes` of payload travel home -> node. Each leg returns the added
-  // latency (not an absolute time); loaded models book link occupancy, so
-  // concurrent transfers contend.
+  // home slice services it, then `bytes` of payload travel home -> node.
+  //
+  // Arrival-time servicing rule: the caller charges the home-slice work
+  // (L3 / DRAM) BETWEEN the legs, passing the request's ARRIVAL time
+  // (now + request leg) to DramModel::access — never the issue time — so
+  // a queueing backend cannot double-bill backlog the network wait
+  // already covered. See DramModel::access for the mirror-image contract.
+  //
+  // Each leg returns the added latency (not an absolute time); loaded
+  // models book link occupancy, so concurrent transfers contend.
   virtual sim::TimePs request_leg_ps(sim::TimePs now, int node,
                                      unsigned home) = 0;
   virtual sim::TimePs response_leg_ps(sim::TimePs now, unsigned home,

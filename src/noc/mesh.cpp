@@ -18,6 +18,11 @@ MeshNetwork::MeshNetwork(sim::SimEngine& engine, const MeshConfig& config)
       routers_.push_back(std::make_unique<Router>(id, x, y, config.router));
     }
   }
+  if (config_.event_driven) engine.register_clock(this);
+}
+
+MeshNetwork::~MeshNetwork() {
+  if (config_.event_driven) engine().unregister_clock(this);
 }
 
 void MeshNetwork::register_endpoint(NodeId node, DeliverFn deliver) {
@@ -39,14 +44,36 @@ std::uint64_t MeshNetwork::inject(Packet packet) {
   packet.id = next_packet_id_++;
   packet.injected_at = now();
   const unsigned flits = flits_for(packet.payload_bytes);
-  auto shared = std::make_shared<Packet>(packet);
+  Packet* slot = pool_.acquire();
+  *slot = packet;
   for (unsigned i = 0; i < flits; ++i) {
     injection_queues_[packet.src].push_back(
-        Flit{shared, i == 0, i == flits - 1});
+        Flit{slot, i == 0, i == flits - 1});
   }
+  const bool was_idle = flits_in_flight_ == 0;
+  flits_in_flight_ += flits;
   counter("packets_injected").inc();
-  pump();
+  if (was_idle) wake();
   return packet.id;
+}
+
+void MeshNetwork::wake() {
+  if (config_.event_driven) {
+    // Arm the next NoC clock edge; the engine jumps straight to it.
+    next_edge_ = util::align_up(now() + 1, config_.cycle_ps);
+  } else {
+    pump();
+  }
+}
+
+sim::TimePs MeshNetwork::next_due() const {
+  return any_activity() ? next_edge_ : sim::kNoPendingEvent;
+}
+
+void MeshNetwork::advance() {
+  move_flits();
+  try_injections();
+  if (any_activity()) next_edge_ = now() + config_.cycle_ps;
 }
 
 void MeshNetwork::pump() {
@@ -56,14 +83,6 @@ void MeshNetwork::pump() {
   const sim::TimePs edge =
       util::align_up(now() + 1, config_.cycle_ps);
   engine().schedule_at(edge, [this] { tick(); });
-}
-
-bool MeshNetwork::any_activity() const noexcept {
-  for (const auto& q : injection_queues_) {
-    if (!q.empty()) return true;
-  }
-  return std::any_of(routers_.begin(), routers_.end(),
-                     [](const auto& r) { return r->any_flits(); });
 }
 
 void MeshNetwork::tick() {
@@ -82,7 +101,7 @@ void MeshNetwork::try_injections() {
           static_cast<unsigned>(queue.front().packet->msg_class) %
           router.vc_count();
       if (!router.has_buffer_space(Port::kLocal, vc)) break;
-      router.accept_flit(Port::kLocal, vc, std::move(queue.front()));
+      router.accept_flit(Port::kLocal, vc, queue.front());
       queue.pop_front();
     }
   }
@@ -92,14 +111,7 @@ void MeshNetwork::move_flits() {
   // Phase 1: gather at most one grant per (router, output port, vc) based on
   // pre-move state; phase 2: apply all moves. This mirrors simultaneous
   // register updates in hardware.
-  struct Move {
-    Router* router;
-    Port in_port;
-    unsigned in_vc;
-    Port out_port;
-    unsigned out_vc;
-  };
-  std::vector<Move> moves;
+  moves_.clear();
 
   for (auto& router_ptr : routers_) {
     Router& router = *router_ptr;
@@ -156,17 +168,17 @@ void MeshNetwork::move_flits() {
           const Router& next = *routers_[ny * config_.width + nx];
           if (!next.has_buffer_space(opposite(out_port), vc)) continue;
         }
-        moves.push_back(Move{&router, static_cast<Port>(chosen_in), vc,
-                             out_port, vc});
+        moves_.push_back(Move{&router, static_cast<Port>(chosen_in), vc,
+                              out_port, vc});
       }
     }
   }
 
-  for (const Move& mv : moves) {
+  for (const Move& mv : moves_) {
     Router& router = *mv.router;
     auto& q = router.queue(mv.in_port, mv.in_vc);
     MACO_ASSERT(!q.flits.empty());
-    Flit flit = std::move(q.flits.front());
+    const Flit flit = q.flits.front();
     q.flits.pop_front();
     router.count_forward(mv.out_port);
     ++flit_hops_;
@@ -180,28 +192,33 @@ void MeshNetwork::move_flits() {
     if (flit.tail) owner.held = false;
 
     if (mv.out_port == Port::kLocal) {
-      deliver(mv.out_port, flit);
+      MACO_ASSERT(flits_in_flight_ > 0);
+      --flits_in_flight_;  // the flit leaves the network at ejection
+      deliver(flit);
     } else {
       const unsigned nx = router.x() + (mv.out_port == Port::kEast ? 1 : 0) -
                           (mv.out_port == Port::kWest ? 1 : 0);
       const unsigned ny = router.y() + (mv.out_port == Port::kSouth ? 1 : 0) -
                           (mv.out_port == Port::kNorth ? 1 : 0);
       routers_[ny * config_.width + nx]->accept_flit(opposite(mv.out_port),
-                                                     mv.out_vc,
-                                                     std::move(flit));
+                                                     mv.out_vc, flit);
     }
   }
 }
 
-void MeshNetwork::deliver(Port, const Flit& flit) {
+void MeshNetwork::deliver(const Flit& flit) {
   if (!flit.tail) return;  // deliver the packet once, on its tail flit
-  const Packet& pkt = *flit.packet;
+  Packet* pkt = flit.packet;
   ++delivered_;
-  const std::uint64_t latency = now() - pkt.injected_at;
+  const std::uint64_t latency = now() - pkt->injected_at;
   latency_sum_ps_ += static_cast<double>(latency);
   max_latency_ps_ = std::max(max_latency_ps_, latency);
   counter("packets_delivered").inc();
-  if (endpoints_[pkt.dst]) endpoints_[pkt.dst](pkt);
+  if (endpoints_[pkt->dst]) endpoints_[pkt->dst](*pkt);
+  // All earlier flits of the packet ejected before the tail, so no flit
+  // references the slot anymore; an endpoint injecting from inside the
+  // callback acquired a different slot (release happens after the call).
+  pool_.release(pkt);
 }
 
 void MeshNetwork::drain() {

@@ -28,6 +28,72 @@ SaRunResult SystolicArray::run(const HostMatrix& a, const HostMatrix& b,
   MACO_ASSERT(a.cols() == b.rows());
   MACO_ASSERT(c.rows() == a.rows() && c.cols() == b.cols());
 
+  const TileShape shape{a.rows(), b.cols(), a.cols()};
+  const SaTiming timing = compute_sa_timing(shape, config_);
+
+  if (config_.exact_pe_sim) {
+    run_exact(a, b, c, timing);
+  } else {
+    run_fast(a, b, c, timing);
+  }
+
+  SaRunResult result;
+  result.cycles = timing.total_cycles;
+  result.passes = timing.passes;
+  result.macs = shape.macs();
+  const double capacity = static_cast<double>(result.cycles) *
+                          static_cast<double>(config_.rows) * config_.cols *
+                          simd_ways(config_.precision);
+  result.utilization =
+      capacity > 0 ? static_cast<double>(result.macs) / capacity : 0.0;
+  return result;
+}
+
+// The array accumulates each C element sequentially: within pass q (k-block
+// kb), the partial sum flows down the column picking up products for
+// kk = kb*p_rows .. kb*p_rows + p_rows - 1 in ascending order, with an
+// explicit +0.0 product for padded kk >= k; passes over later k-blocks read
+// the value the previous pass wrote. Replaying that per-element order here
+// (including the padded zero-adds) reproduces the register-level result bit
+// for bit. The i-k-j loop interchange below only reorders work across
+// DIFFERENT C elements — each element still sees ascending kk, padded adds
+// last — so B rows stream contiguously and the j loop vectorizes without
+// any FP reassociation.
+void SystolicArray::run_fast(const HostMatrix& a, const HostMatrix& b,
+                             HostMatrix& c, const SaTiming& timing) const {
+  const unsigned p_rows = config_.rows;
+  const std::uint64_t m = a.rows();
+  const std::uint64_t k = a.cols();
+  const std::uint64_t n = b.cols();
+  const std::uint64_t kk_padded = timing.k_blocks * p_rows;
+
+  for (std::uint64_t row = 0; row < m; ++row) {
+    double* crow = c.row_ptr(row);
+    const double* arow = a.row_ptr(row);
+    for (std::uint64_t kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      const double* brow = b.row_ptr(kk);
+      for (std::uint64_t col = 0; col < n; ++col) {
+        // Same expression shape as the register path's psum update, so a
+        // compiler that contracts one mul+add into an FMA contracts both.
+        const double product = av * brow[col];
+        crow[col] = crow[col] + product;
+      }
+    }
+    // Padded k positions of the last k-block: a and b both feed 0.0, so
+    // each element accumulates an explicit +0.0 product (which the array
+    // really performs — it flushes a possible -0.0 to +0.0).
+    for (std::uint64_t kk = k; kk < kk_padded; ++kk) {
+      for (std::uint64_t col = 0; col < n; ++col) {
+        const double product = 0.0 * 0.0;
+        crow[col] = crow[col] + product;
+      }
+    }
+  }
+}
+
+void SystolicArray::run_exact(const HostMatrix& a, const HostMatrix& b,
+                              HostMatrix& c, const SaTiming& timing) const {
   const unsigned p_rows = config_.rows;
   const unsigned p_cols = config_.cols;
   const unsigned ways = simd_ways(config_.precision);
@@ -35,8 +101,6 @@ SaRunResult SystolicArray::run(const HostMatrix& a, const HostMatrix& b,
   const std::uint64_t k = a.cols();
   const std::uint64_t n = b.cols();
 
-  const TileShape shape{m, n, k};
-  const SaTiming timing = compute_sa_timing(shape, config_);
   const std::uint64_t nb_count = timing.n_blocks;
   const std::uint64_t slots = timing.slots_per_pass;  // hazard-padded
   const std::uint64_t passes = timing.passes;
@@ -133,16 +197,6 @@ SaRunResult SystolicArray::run(const HostMatrix& a, const HostMatrix& b,
     }
     regs.swap(next);
   }
-
-  SaRunResult result;
-  result.cycles = timing.total_cycles;
-  result.passes = passes;
-  result.macs = shape.macs();
-  const double capacity = static_cast<double>(result.cycles) *
-                          static_cast<double>(p_rows) * p_cols * ways;
-  result.utilization =
-      capacity > 0 ? static_cast<double>(result.macs) / capacity : 0.0;
-  return result;
 }
 
 }  // namespace maco::sa

@@ -11,6 +11,15 @@
 // The register-level simulation is exact in both function and cycle count;
 // `latency_model.hpp` provides the matching closed form used at system
 // scale, and tests assert the two agree.
+//
+// Two functional paths compute the identical result:
+//  - exact_pe_sim=true simulates every PE register every cycle (the
+//    reference, and the dominant cost of exec=lockstep detailed runs);
+//  - exact_pe_sim=false (default) replays the same floating-point
+//    accumulation order directly — ascending k within each k-block, padded
+//    +0.0 products included — so C is bit-identical while the per-cycle
+//    register machinery is skipped. Cycle counts come from the closed form
+//    either way. tests/test_equivalence.cpp pins the bit-equality.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,8 @@
 
 namespace maco::sa {
 
+struct SaTiming;  // latency_model.hpp
+
 struct SaConfig {
   unsigned rows = 4;  // p: array height (K direction)
   unsigned cols = 4;  // p: array width (N direction)
@@ -28,6 +39,9 @@ struct SaConfig {
   // Double-buffered stationary registers let the next B block preload during
   // the current pass; without them each pass pays a `rows`-cycle preload.
   bool double_buffered_b = true;
+  // Simulate every PE register every cycle instead of the order-preserving
+  // direct evaluation. Same bits, ~25× slower; exec=lockstep sets this.
+  bool exact_pe_sim = false;
 };
 
 struct SaRunResult {
@@ -48,6 +62,13 @@ class SystolicArray {
   SaRunResult run(const HostMatrix& a, const HostMatrix& b, HostMatrix& c);
 
  private:
+  // Register-level reference: every PE pipeline register, every cycle.
+  void run_exact(const HostMatrix& a, const HostMatrix& b, HostMatrix& c,
+                 const SaTiming& timing) const;
+  // Direct evaluation in the array's exact accumulation order.
+  void run_fast(const HostMatrix& a, const HostMatrix& b, HostMatrix& c,
+                const SaTiming& timing) const;
+
   SaConfig config_;
 };
 

@@ -1,0 +1,36 @@
+// Clock-domain hook for the event engine.
+//
+// A ClockedSource is a component with its own clock period (the flit mesh
+// at cycle_ps, a future banked-DRAM scheduler, ...) that only sometimes has
+// work on an edge. Instead of self-scheduling one heap event per cycle, it
+// reports the absolute time of its next busy edge; the engine advances the
+// global clock to min(event queue, all clocked sources) — quiescence
+// fast-forward across idle stretches, and each domain steps on its own
+// period without lock-step ticking of the others.
+#pragma once
+
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace maco::sim {
+
+// Sentinel: the source is quiescent and imposes no bound on the time jump.
+inline constexpr TimePs kNoPendingEvent = std::numeric_limits<TimePs>::max();
+
+class ClockedSource {
+ public:
+  virtual ~ClockedSource() = default;
+
+  // Absolute time of the next edge at which this source has work to do, or
+  // kNoPendingEvent while quiescent. Must be > the engine's current time
+  // (an edge is reported once, then advanced through).
+  virtual TimePs next_due() const = 0;
+
+  // Process the edge previously reported by next_due(); the engine has
+  // already advanced now() to exactly that time. May schedule events and
+  // must leave next_due() strictly greater than now() (or quiescent).
+  virtual void advance() = 0;
+};
+
+}  // namespace maco::sim

@@ -24,10 +24,10 @@ TEST(Router, BufferSpaceEnforced) {
   RouterConfig config;
   config.vc_depth = 2;
   Router r(0, 0, 0, config);
-  auto pkt = std::make_shared<Packet>();
+  Packet pkt;
   EXPECT_TRUE(r.has_buffer_space(Port::kLocal, 0));
-  r.accept_flit(Port::kLocal, 0, Flit{pkt, true, false});
-  r.accept_flit(Port::kLocal, 0, Flit{pkt, false, true});
+  r.accept_flit(Port::kLocal, 0, Flit{&pkt, true, false});
+  r.accept_flit(Port::kLocal, 0, Flit{&pkt, false, true});
   EXPECT_FALSE(r.has_buffer_space(Port::kLocal, 0));
   EXPECT_TRUE(r.has_buffer_space(Port::kLocal, 1));  // other VC independent
 }

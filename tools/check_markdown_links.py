@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+Usage: check_markdown_links.py FILE_OR_DIR...
+
+Scans every given markdown file (directories are walked for *.md) for
+inline links and images `[text](target)`. Relative targets must resolve to
+an existing file or directory, relative to the markdown file that contains
+them. External schemes (http/https/mailto) and pure in-page anchors are
+skipped; a `path#anchor` target is checked for the path part only.
+
+Exits 1 with one line per broken link, 0 when everything resolves. No
+third-party dependencies — runs on a stock python3.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no nested parentheses in
+# targets (none of our docs need them), reference-style links not used.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arg: Path):
+    if arg.is_dir():
+        yield from sorted(arg.rglob("*.md"))
+    else:
+        yield arg
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{lineno}: broken link '{target}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    seen = 0
+    for arg in argv:
+        root = Path(arg)
+        if not root.exists():
+            errors.append(f"{arg}: no such file or directory")
+            continue
+        for md in markdown_files(root):
+            seen += 1
+            errors.extend(check_file(md))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {seen} markdown file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
