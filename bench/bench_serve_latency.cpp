@@ -1,0 +1,72 @@
+// Serving-substrate micro-benchmarks: how many simulated requests per
+// second of host wall time the serve loop sustains. The loop is O(1) per
+// request with the machine memoized per distinct batch size, so
+// million-request streams must stay cheap — these catch regressions that
+// would make paper-scale serving sweeps intractable.
+#ifdef MACO_HAVE_GOOGLE_BENCHMARK
+#include <benchmark/benchmark.h>
+#else
+#include "minibench.hpp"
+#endif
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "serve/server.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace {
+
+using namespace maco;
+
+// Seeded Poisson schedule generation (sort included).
+void BM_LoadGeneratorPoisson(benchmark::State& state) {
+  serve::ArrivalConfig config;
+  config.rate_rps = 1000.0;
+  config.requests = static_cast<std::uint64_t>(state.range(0));
+  config.tenants = 4;
+  for (auto _ : state) {
+    const auto schedule = serve::LoadGenerator(config).schedule();
+    benchmark::DoNotOptimize(schedule.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LoadGeneratorPoisson)->Arg(10000)->Arg(100000);
+
+// Log-bucketed histogram hot path.
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  util::LatencyHistogram histogram;
+  double value = 0.001;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value < 1000.0 ? value * 1.37 : 0.001;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+// The whole serve loop, open loop at a rate that exercises batching:
+// items/s here is simulated requests per host second.
+void BM_ServeOpenLoop(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.arrival.rate_rps = 4000.0;
+  config.arrival.requests = static_cast<std::uint64_t>(state.range(0));
+  config.arrival.tenants = 4;
+  config.policy.max_batch = 8;
+  config.policy.timeout_ps = 200 * sim::kPsPerUs;
+  serve::CostModelOptions options;
+  for (auto _ : state) {
+    const auto cost = serve::make_analytic_cost_model(
+        core::SystemConfig::maco_default(), serve::serve_model("tiny", 0),
+        options);
+    const serve::ServeReport report = serve::serve(*cost, config);
+    benchmark::DoNotOptimize(report.completed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeOpenLoop)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

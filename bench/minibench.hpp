@@ -136,7 +136,12 @@ inline int RunAll() {
       State state(ranges);
       bench.function(state);
       std::string label = bench.name;
-      if (!ranges.empty()) label += "/" + std::to_string(ranges[0]);
+      if (!ranges.empty()) {
+        // Two appends, not operator+(const char*, string&&): the moved-in
+        // temporary trips a GCC 12 -Wrestrict false positive under -O2.
+        label += '/';
+        label += std::to_string(ranges[0]);
+      }
       const double ns_per_iter =
           state.iterations() > 0
               ? state.elapsed_seconds() * 1e9 /

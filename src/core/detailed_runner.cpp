@@ -9,6 +9,7 @@
 
 #include "core/maco_system.hpp"
 #include "isa/params.hpp"
+#include "os/scheduler.hpp"
 #include "sa/host_matrix.hpp"
 #include "util/rng.hpp"
 #include "vm/types.hpp"
@@ -79,61 +80,18 @@ void check_supported(const SystemConfig& config,
   }
 }
 
-// Allocates the three operand matrices of one GEMM in `process` (shifted
-// into their pages by the given byte offsets), writes seeded random data
-// and issues `tasks` identical MA_CFG tasks through the node's CPU.
+// Builds one GEMM task (build_detailed_gemm_task) and issues it `tasks`
+// times through the node's CPU — the direct programming path of
+// run_detailed_tiles, which measures MMAE task spans without OS overhead.
 void program_gemm_tasks(MacoSystem& system, unsigned node, Process& process,
                         const sa::TileShape& shape,
                         const TimingOptions& options,
                         std::uint64_t a_offset, std::uint64_t b_offset,
                         std::uint64_t c_offset, std::uint64_t data_seed,
                         unsigned tasks) {
-  util::Rng rng(0x9e3779b9u ^ data_seed);
-
-  // One extra page per matrix makes room for the in-page shift; the
-  // MatrixDesc base is the shifted address, so every element access (host
-  // writes and the MMAE's DMA streams alike) sees the shifted layout.
-  const auto alloc_shifted = [&](std::uint64_t rows, std::uint64_t cols,
-                                 std::uint64_t offset) {
-    vm::MatrixDesc desc;
-    if (offset == 0) {
-      desc = system.alloc_matrix(process, rows, cols);
-    } else {
-      const std::uint64_t bytes =
-          rows * cols * sizeof(double) + vm::kPageSize;
-      const std::uint64_t padded_rows =
-          (bytes + cols * sizeof(double) - 1) / (cols * sizeof(double));
-      desc = system.alloc_matrix(process, padded_rows, cols);
-      desc.rows = rows;
-      desc.base += offset;
-    }
-    return desc;
-  };
-
-  const auto a = alloc_shifted(shape.m, shape.k, a_offset);
-  const auto b = alloc_shifted(shape.k, shape.n, b_offset);
-  const auto c = alloc_shifted(shape.m, shape.n, c_offset);
-  system.write_matrix(process, a,
-                      sa::HostMatrix::random(shape.m, shape.k, rng));
-  system.write_matrix(process, b,
-                      sa::HostMatrix::random(shape.k, shape.n, rng));
-  system.write_matrix(process, c, sa::HostMatrix(shape.m, shape.n));
-
-  isa::GemmParams gemm;
-  gemm.a_base = a.base;
-  gemm.b_base = b.base;
-  gemm.c_base = c.base;
-  gemm.m = static_cast<std::uint32_t>(shape.m);
-  gemm.n = static_cast<std::uint32_t>(shape.n);
-  gemm.k = static_cast<std::uint32_t>(shape.k);
-  gemm.precision = options.precision;
-  gemm.tile_rows = static_cast<std::uint16_t>(
-      std::min<std::uint64_t>(options.tile_rows, 65535));
-  gemm.tile_cols = static_cast<std::uint16_t>(
-      std::min<std::uint64_t>(options.tile_cols, 65535));
-  gemm.inner_tile_rows = static_cast<std::uint16_t>(options.inner);
-  gemm.inner_tile_cols = static_cast<std::uint16_t>(options.inner);
-
+  const isa::GemmParams gemm =
+      build_detailed_gemm_task(system, process, shape, options, a_offset,
+                               b_offset, c_offset, data_seed);
   cpu::CpuCore& cpu = system.node(node).cpu();
   cpu.regs().write_param_block(10, gemm.pack());
   for (unsigned t = 0; t < tasks; ++t) {
@@ -161,6 +119,59 @@ void check_task_reports(unsigned node, std::size_t expected,
 
 }  // namespace
 
+isa::GemmParams build_detailed_gemm_task(
+    MacoSystem& system, Process& process, const sa::TileShape& shape,
+    const TimingOptions& options, std::uint64_t a_page_offset,
+    std::uint64_t b_page_offset, std::uint64_t c_page_offset,
+    std::uint64_t data_seed) {
+  util::Rng rng(0x9e3779b9u ^ data_seed);
+
+  // One extra page per matrix makes room for the in-page shift; the
+  // MatrixDesc base is the shifted address, so every element access (host
+  // writes and the MMAE's DMA streams alike) sees the shifted layout.
+  const auto alloc_shifted = [&](std::uint64_t rows, std::uint64_t cols,
+                                 std::uint64_t offset) {
+    vm::MatrixDesc desc;
+    if (offset == 0) {
+      desc = system.alloc_matrix(process, rows, cols);
+    } else {
+      const std::uint64_t bytes =
+          rows * cols * sizeof(double) + vm::kPageSize;
+      const std::uint64_t padded_rows =
+          (bytes + cols * sizeof(double) - 1) / (cols * sizeof(double));
+      desc = system.alloc_matrix(process, padded_rows, cols);
+      desc.rows = rows;
+      desc.base += offset;
+    }
+    return desc;
+  };
+
+  const auto a = alloc_shifted(shape.m, shape.k, a_page_offset);
+  const auto b = alloc_shifted(shape.k, shape.n, b_page_offset);
+  const auto c = alloc_shifted(shape.m, shape.n, c_page_offset);
+  system.write_matrix(process, a,
+                      sa::HostMatrix::random(shape.m, shape.k, rng));
+  system.write_matrix(process, b,
+                      sa::HostMatrix::random(shape.k, shape.n, rng));
+  system.write_matrix(process, c, sa::HostMatrix(shape.m, shape.n));
+
+  isa::GemmParams gemm;
+  gemm.a_base = a.base;
+  gemm.b_base = b.base;
+  gemm.c_base = c.base;
+  gemm.m = static_cast<std::uint32_t>(shape.m);
+  gemm.n = static_cast<std::uint32_t>(shape.n);
+  gemm.k = static_cast<std::uint32_t>(shape.k);
+  gemm.precision = options.precision;
+  gemm.tile_rows = static_cast<std::uint16_t>(
+      std::min<std::uint64_t>(options.tile_rows, 65535));
+  gemm.tile_cols = static_cast<std::uint16_t>(
+      std::min<std::uint64_t>(options.tile_cols, 65535));
+  gemm.inner_tile_rows = static_cast<std::uint16_t>(options.inner);
+  gemm.inner_tile_cols = static_cast<std::uint16_t>(options.inner);
+  return gemm;
+}
+
 SystemTiming run_detailed_gemm(const SystemConfig& config,
                                const TimingOptions& options) {
   check_supported(config, options);
@@ -173,17 +184,30 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
   MacoSystem system(detailed_config);
   const unsigned nodes = system.node_count();
 
-  // Program one independent GEMM per node (Fig. 7's independent mode),
-  // each in its own process/address space with real random operands.
+  // One independent GEMM per node (Fig. 7's independent mode), each in
+  // its own process/address space with real random operands, driven by
+  // the OS scheduler instead of hand-programmed CPUs. With a single-task
+  // job per node, round-robin lands job i on node i and every dispatch
+  // happens before the engine first runs — the MMAE-side timing is the
+  // same as the historic direct path, and the run additionally exercises
+  // (and reports) the real OS machinery: context switches, MA_STATE
+  // harvesting, MTQ backoff, demand repair.
+  os::Scheduler::Options sched_options;
+  sched_options.nodes = nodes;
+  os::Scheduler scheduler(system, sched_options);
   for (unsigned n = 0; n < nodes; ++n) {
     Process& process = system.create_process();
-    system.schedule_process(n, process);
-    program_gemm_tasks(system, n, process, options.shape, options,
-                       /*a_offset=*/0, /*b_offset=*/0, /*c_offset=*/0,
-                       /*data_seed=*/n, /*tasks=*/1);
+    os::Job& job = scheduler.add_job(process);
+    job.tasks.push_back(os::GemmTask{build_detailed_gemm_task(
+        system, process, options.shape, options, /*a_page_offset=*/0,
+        /*b_page_offset=*/0, /*c_page_offset=*/0, /*data_seed=*/n)});
   }
-
-  system.run();
+  const os::SchedulerStats sched_stats = scheduler.run_all();
+  if (sched_stats.tasks_failed > 0) {
+    throw std::runtime_error(
+        "detailed run failed: " + std::to_string(sched_stats.tasks_failed) +
+        " task(s) raised unrepairable exceptions under the scheduler");
+  }
 
   const double peak_macs = detailed_config.mmae_peak_macs(options.precision);
   const auto tiles_along = [&](std::uint64_t extent) {
@@ -200,8 +224,21 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
   std::uint64_t total_macs = 0;
   for (unsigned n = 0; n < nodes; ++n) {
     const auto& reports = system.node(n).mmae().reports();
-    check_task_reports(n, 1, reports);
-    const mmae::TaskReport& report = reports.front();
+    // A repaired page fault leaves an exception report before the
+    // successful retry, so take the last clean report on the node (the
+    // completed attempt of its one task).
+    const mmae::TaskReport* completed = nullptr;
+    for (const mmae::TaskReport& candidate : reports) {
+      if (candidate.exception == cpu::ExceptionType::kNone) {
+        completed = &candidate;
+      }
+    }
+    if (completed == nullptr) {
+      throw std::runtime_error("detailed run failed on node " +
+                               std::to_string(n) +
+                               ": no completed task report");
+    }
+    const mmae::TaskReport& report = *completed;
     NodeTiming node;
     node.span_ps = report.end - report.start;
     node.compute_ps = report.sa_busy_ps;
@@ -232,6 +269,13 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
   timing.translation.pages_per_tile = (walks + predicted) / total_tiles;
   timing.translation.stall_per_tile_ps =
       static_cast<sim::TimePs>(stall_ps / total_tiles);
+
+  timing.os.present = true;
+  timing.os.context_switches = sched_stats.context_switches;
+  timing.os.mtq_full_backoffs = sched_stats.mtq_full_backoffs;
+  timing.os.faults_repaired = sched_stats.faults_repaired;
+  timing.os.scheduling_rounds = sched_stats.scheduling_rounds;
+  timing.os.tasks_completed = sched_stats.tasks_completed;
   return timing;
 }
 

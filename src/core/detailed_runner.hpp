@@ -20,8 +20,12 @@
 
 #include "core/config.hpp"
 #include "core/timing_model.hpp"
+#include "isa/params.hpp"
 
 namespace maco::core {
+
+class MacoSystem;
+struct Process;
 
 // Largest per-dimension GEMM size run_detailed_gemm accepts (a full
 // detailed node at this size already simulates hundreds of inner tiles).
@@ -30,8 +34,23 @@ inline constexpr std::uint64_t kDetailedMaxDim = 2048;
 // Throws std::invalid_argument when `options` asks for something the
 // detailed machine cannot honor (cooperative splitting, stash_lock=false,
 // tlb/overlap baseline overrides, a dimension beyond kDetailedMaxDim).
+// Execution is driven through os::Scheduler (one single-task job per
+// active node), so the returned SystemTiming carries the OS counters in
+// `timing.os`.
 SystemTiming run_detailed_gemm(const SystemConfig& config,
                                const TimingOptions& options);
+
+// Allocates the three operand matrices of one GEMM task in `process`
+// (shifted into their pages by the byte offsets), writes seeded random
+// data, and returns the MA_CFG parameter block — without issuing it.
+// Dispatch belongs to the caller: directly through a node's CPU, or as an
+// os::GemmTask under the scheduler (run_detailed_gemm, serve's detailed
+// batch-cost oracle).
+isa::GemmParams build_detailed_gemm_task(
+    MacoSystem& system, Process& process, const sa::TileShape& shape,
+    const TimingOptions& options, std::uint64_t a_page_offset,
+    std::uint64_t b_page_offset, std::uint64_t c_page_offset,
+    std::uint64_t data_seed);
 
 // One first-level tile to execute as its own GEMM task. The in-page byte
 // offsets reproduce where the tile's operand sub-blocks would start inside

@@ -95,6 +95,19 @@ struct SamplingStats {
   }
 };
 
+// Software-scheduler counters carried by runs driven through os::Scheduler
+// (fidelity=detailed); present=false on closed-form and sampled estimates,
+// which never enter the OS layer. A plain mirror of os::SchedulerStats so
+// the core timing types stay below the OS layer in the include graph.
+struct OsStats {
+  bool present = false;
+  std::uint64_t context_switches = 0;
+  std::uint64_t mtq_full_backoffs = 0;
+  std::uint64_t faults_repaired = 0;
+  std::uint64_t scheduling_rounds = 0;
+  std::uint64_t tasks_completed = 0;
+};
+
 struct SystemTiming {
   std::vector<NodeTiming> nodes;
   double mean_efficiency = 0.0;  // average per-node efficiency (Fig. 7 y-axis)
@@ -102,6 +115,7 @@ struct SystemTiming {
   sim::TimePs makespan_ps = 0;
   TranslationEstimate translation;
   SamplingStats sampling;        // fidelity=sampled only
+  OsStats os;                    // fidelity=detailed only
 };
 
 class SystemTimingModel {

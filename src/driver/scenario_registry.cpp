@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -16,6 +18,7 @@
 #include "mem/queued_dram.hpp"
 #include "model/area_power.hpp"
 #include "sa/sparse.hpp"
+#include "serve/server.hpp"
 #include "workloads/dnn_models.hpp"
 #include "workloads/gemm_workload.hpp"
 #include "workloads/hpl.hpp"
@@ -178,6 +181,28 @@ core::TimingOptions timing_options_from(const ScenarioRequest& request) {
   return options;
 }
 
+// core::OsStats -> os_* metrics: every run driven through os::Scheduler
+// (fidelity=detailed GEMM, serve's detailed batch oracle) reports the OS
+// software counters instead of discarding them. All are diagnostics; the
+// event counters gate as lower-is-better so a scheduling regression (more
+// backoffs, more repair round-trips) shows up in report --compare.
+void add_os_metrics(ScenarioResult& result, const core::OsStats& os) {
+  result.add("os_context_switches",
+             static_cast<double>(os.context_switches), "",
+             /*higher_is_better=*/false);
+  result.add("os_mtq_full_backoffs",
+             static_cast<double>(os.mtq_full_backoffs), "",
+             /*higher_is_better=*/false);
+  result.add("os_faults_repaired",
+             static_cast<double>(os.faults_repaired), "",
+             /*higher_is_better=*/false);
+  result.add("os_scheduling_rounds",
+             static_cast<double>(os.scheduling_rounds), "",
+             /*higher_is_better=*/false);
+  result.add("os_tasks_completed",
+             static_cast<double>(os.tasks_completed));
+}
+
 void add_system_metrics(ScenarioResult& result,
                         const core::SystemTiming& timing) {
   result.add("gflops", timing.total_gflops, "GFLOP/s");
@@ -208,6 +233,9 @@ void add_system_metrics(ScenarioResult& result,
                static_cast<double>(timing.sampling.sampled_tiles));
     result.add("total_tiles",
                static_cast<double>(timing.sampling.total_tiles));
+  }
+  if (timing.os.present) {
+    add_os_metrics(result, timing.os);
   }
 }
 
@@ -815,6 +843,145 @@ Scenario speed_scenario() {
   return s;
 }
 
+// The serve subsystem as a scenario: open/closed-loop request streams,
+// per-tenant dynamic batching, latency percentiles and SLO goodput.
+Scenario serve_scenario() {
+  Scenario s;
+  s.name = "serve";
+  s.description =
+      "multi-tenant serving: open-loop (poisson/uniform/trace) or "
+      "closed-loop request streams through dynamic batching, reporting "
+      "latency percentiles, goodput and fairness";
+  s.schema.enumerant("model", "tiny", {"tiny", "resnet50", "bert", "gpt3"},
+                     "served model (tiny fits fidelity=detailed)");
+  s.schema.u64("seq_len", 384, "sequence length (bert/gpt3)", 1, 65536);
+  s.schema.enumerant("arrival", "poisson",
+                     {"poisson", "uniform", "trace", "closed"},
+                     "arrival process; closed = fixed-concurrency loop");
+  s.schema.f64("arrival_rate_rps", 200.0,
+               "aggregate open-loop arrival rate", 1e-6, 1e12);
+  s.schema.u64("requests", 2000, "requests to serve", 1, 100'000'000);
+  s.schema.u64("tenants", 2, "admission domains sharing the machine", 1,
+               1024);
+  s.schema.u64("max_batch", 8, "seal a batch at this size", 1, 4096);
+  s.schema.u64("batch_timeout_us", 200,
+               "oldest-waiter age forcing a seal; 0 = no batching", 0,
+               1'000'000'000);
+  s.schema.f64("slo_ms", 10.0, "latency objective for goodput", 1e-9,
+               1e12);
+  s.schema.u64("instances", 1, "concurrent model instances", 1, 64);
+  s.schema.u64("seed", 1, "arrival/tenant/think stream seed");
+  s.schema.str("trace_file", "",
+               "arrival=trace: file of 'SECONDS [TENANT]' lines");
+  s.schema.u64("concurrency", 8, "arrival=closed: in-flight sessions", 1,
+               1'000'000);
+  s.schema.f64("think_ms", 0.0, "arrival=closed: mean think time", 0.0,
+               1e12);
+  declare_nodes(s.schema, "active compute nodes (defaults to node_count)");
+  s.schema.enumerant("fidelity", "analytic", {"analytic", "detailed"},
+                     "batch cost oracle backend");
+  s.schema.constrain("arrival=trace requires trace_file",
+                     [](const exp::ParamSet& p) {
+                       return p.str("arrival") != "trace" ||
+                              !p.str("trace_file").empty();
+                     });
+  s.schema.constrain(
+      "fidelity=detailed requires model=tiny and max_batch <= 128 (the "
+      "detailed machine's dimension cap)",
+      [](const exp::ParamSet& p) {
+        return p.str("fidelity") != "detailed" ||
+               (p.str("model") == "tiny" && p.u64("max_batch") <= 128);
+      });
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
+  s.run = [](const ScenarioRequest& request) {
+    const exp::ParamSet& p = request.params;
+    const serve::ServeModel model = serve::serve_model(
+        p.str("model"), static_cast<unsigned>(p.u64("seq_len")));
+
+    serve::ServeConfig config;
+    config.arrival.rate_rps = p.f64("arrival_rate_rps");
+    config.arrival.tenants = static_cast<unsigned>(p.u64("tenants"));
+    config.arrival.requests = p.u64("requests");
+    config.arrival.seed = p.u64("seed");
+    const std::string& arrival = p.str("arrival");
+    if (arrival == "closed") {
+      config.closed_loop = true;
+      config.concurrency = static_cast<unsigned>(p.u64("concurrency"));
+      config.think_s = p.f64("think_ms") / 1e3;
+    } else if (arrival == "trace") {
+      std::ifstream in(p.str("trace_file"));
+      if (!in) {
+        throw std::invalid_argument("cannot open trace_file '" +
+                                    p.str("trace_file") + "'");
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      config.arrival.kind = serve::ArrivalKind::kTrace;
+      config.arrival.trace = serve::parse_trace(text.str());
+    } else {
+      config.arrival.kind = serve::parse_arrival_kind(arrival);
+    }
+    config.policy.max_batch = static_cast<unsigned>(p.u64("max_batch"));
+    config.policy.timeout_ps = p.u64("batch_timeout_us") * sim::kPsPerUs;
+    config.instances = static_cast<unsigned>(p.u64("instances"));
+    config.slo_ms = p.f64("slo_ms");
+
+    serve::CostModelOptions cost_options;
+    cost_options.nodes = active_nodes_from(request);
+    cost_options.instances = config.instances;
+    const auto cost =
+        request.fidelity() == exp::Fidelity::kDetailed
+            ? serve::make_detailed_cost_model(request.config, model,
+                                              cost_options)
+            : serve::make_analytic_cost_model(request.config, model,
+                                              cost_options);
+    const serve::ServeReport report = serve::serve(*cost, config);
+
+    ScenarioResult result;
+    result.add("completed", static_cast<double>(report.completed));
+    result.add("batches", static_cast<double>(report.batches));
+    result.add("mean_batch", report.mean_batch);
+    result.add("duration_s", report.duration_s, "s",
+               /*higher_is_better=*/false);
+    result.add("offered_rps", report.offered_rps, "req/s");
+    result.add("throughput_rps", report.throughput_rps, "req/s");
+    result.add("goodput_rps", report.goodput_rps, "req/s");
+    result.add("slo_attainment", report.slo_attainment);
+    // Percentile/latency names: direction inferred (lower is better).
+    result.add("latency_p50_ms", report.latency_ms.quantile(0.50), "ms");
+    result.add("latency_p95_ms", report.latency_ms.quantile(0.95), "ms");
+    result.add("latency_p99_ms", report.latency_ms.quantile(0.99), "ms");
+    result.add("latency_p999_ms", report.latency_ms.quantile(0.999), "ms");
+    result.add("latency_mean_ms", report.latency_ms.mean(), "ms");
+    result.add("batching_mean_ms", report.batching_ms.mean(), "ms",
+               /*higher_is_better=*/false);
+    result.add("queueing_mean_ms", report.queueing_ms.mean(), "ms",
+               /*higher_is_better=*/false);
+    result.add("execution_mean_ms", report.execution_ms.mean(), "ms",
+               /*higher_is_better=*/false);
+    double worst_p95 = 0.0;
+    for (const serve::TenantReport& tenant : report.tenants) {
+      if (tenant.completed == 0) continue;
+      worst_p95 = std::max(worst_p95, tenant.latency_ms.quantile(0.95));
+    }
+    result.add("worst_tenant_p95_ms", worst_p95, "ms");
+    result.add("fairness", report.fairness);
+    if (report.has_scheduler_stats) {
+      core::OsStats os;
+      os.present = true;
+      os.context_switches = report.scheduler.context_switches;
+      os.mtq_full_backoffs = report.scheduler.mtq_full_backoffs;
+      os.faults_repaired = report.scheduler.faults_repaired;
+      os.scheduling_rounds = report.scheduler.scheduling_rounds;
+      os.tasks_completed = report.scheduler.tasks_completed;
+      add_os_metrics(result, os);
+    }
+    return result;
+  };
+  return s;
+}
+
 }  // namespace
 
 exp::Fidelity ScenarioRequest::fidelity() const {
@@ -895,6 +1062,7 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   registry.add(micro_components_scenario());
   registry.add(micro_dram_scenario());
   registry.add(speed_scenario());
+  registry.add(serve_scenario());
   return registry;
 }
 

@@ -77,6 +77,12 @@ store::CampaignRecord import_row(
       if (info != columns.end()) {
         metric.unit = info->second.unit;
         metric.higher_is_better = info->second.higher_is_better;
+      } else {
+        // No column metadata (hand-written or truncated JSON): fall back
+        // to the same name-based inference ScenarioResult::add uses, so
+        // an imported latency_p95_ms still gates as lower-is-better.
+        metric.higher_is_better =
+            !exp::lower_is_better_metric_name(name);
       }
       record.metrics.push_back(std::move(metric));
     }
@@ -105,8 +111,9 @@ ImportSummary import_sweep_json(const ScenarioRegistry& registry,
   }
 
   // Unit/direction metadata rides in the "columns" array; a metric not
-  // described there imports as dimensionless higher-is-better (the
-  // ScenarioResult::add default).
+  // described there imports as dimensionless with its direction inferred
+  // from the name (percentile/latency names are lower-is-better, the
+  // rest higher — exp::lower_is_better_metric_name).
   std::map<std::string, ColumnInfo> columns;
   if (const util::JsonValue* cols = doc.find("columns")) {
     for (const util::JsonValue& col : cols->as_array()) {

@@ -18,11 +18,26 @@ struct Metric {
   bool higher_is_better = true;  // direction for campaign-level comparisons
 };
 
+// Latency-percentile naming convention: a metric whose name contains a
+// percentile segment ("p50", "p95", "p999" between underscores or at
+// either end) or the word "latency" measures time-to-respond, where less
+// is better. Callers that don't state a direction get this inference, so
+// a scenario can't accidentally declare latency_p99_ms as
+// higher-is-better; an explicit direction always wins.
+bool lower_is_better_metric_name(std::string_view name) noexcept;
+
 struct ScenarioResult {
   std::vector<Metric> metrics;
 
-  void add(std::string name, double value, std::string unit = {},
-           bool higher_is_better = true) {
+  // Direction inferred from the name (see lower_is_better_metric_name).
+  void add(std::string name, double value, std::string unit = {}) {
+    const bool higher = !lower_is_better_metric_name(name);
+    metrics.push_back(Metric{std::move(name), value, std::move(unit),
+                             higher});
+  }
+
+  void add(std::string name, double value, std::string unit,
+           bool higher_is_better) {
     metrics.push_back(Metric{std::move(name), value, std::move(unit),
                              higher_is_better});
   }

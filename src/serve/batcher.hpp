@@ -1,0 +1,85 @@
+// Admission queues and dynamic batching.
+//
+// Requests are admitted into per-tenant FIFO queues; the batcher seals a
+// tenant's queue into a Batch under the classic dynamic-batching policy:
+// the moment the queue reaches `max_batch` waiting requests, or when the
+// oldest waiting request has waited `timeout_ps` (whichever comes first).
+// Batches never mix tenants — a tenant is a model instance's admission
+// domain, so a batch maps to one GEMM task list of one model at one batch
+// size. timeout_ps == 0 degenerates to no batching: every request seals
+// alone at its own arrival instant.
+//
+// The batcher is a pure state machine over simulated time: the serve loop
+// feeds it arrivals (enqueue) and clock advances (collect), and asks for
+// the next forced-close deadline so the event loop knows when to wake.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/workload.hpp"
+#include "sim/time.hpp"
+
+namespace maco::serve {
+
+struct BatchPolicy {
+  unsigned max_batch = 8;            // seal immediately at this size
+  sim::TimePs timeout_ps = 1000000;  // oldest-waiter age forcing a seal
+};
+
+// One sealed batch, ready for execution.
+struct Batch {
+  unsigned tenant = 0;
+  std::vector<std::uint64_t> requests;  // request ids, admission order
+  sim::TimePs close_ps = 0;             // when the batch was sealed
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(requests.size());
+  }
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(unsigned tenants, const BatchPolicy& policy);
+
+  // Admits a request at `now` (its arrival time). Time must not go
+  // backwards across calls. Sealed batches accumulate internally; drain
+  // them with collect().
+  void enqueue(std::uint64_t request_id, unsigned tenant, sim::TimePs now);
+
+  // Earliest forced-close deadline over all tenants with waiting
+  // requests; nullopt when every queue is empty.
+  std::optional<sim::TimePs> next_deadline() const;
+
+  // Advances the batcher clock to `now`, sealing every tenant queue whose
+  // deadline has passed, and returns all batches sealed so far (size- and
+  // timeout-sealed alike) in seal order.
+  std::vector<Batch> collect(sim::TimePs now);
+
+  // True when no request is waiting and no sealed batch is uncollected.
+  bool idle() const noexcept;
+
+  // Lifetime counters for the serve report.
+  std::uint64_t batches_sealed() const noexcept { return batches_sealed_; }
+  std::uint64_t requests_admitted() const noexcept {
+    return requests_admitted_;
+  }
+
+ private:
+  struct Waiting {
+    std::uint64_t request_id;
+    sim::TimePs arrival_ps;
+  };
+
+  void seal(unsigned tenant, sim::TimePs close_ps);
+
+  BatchPolicy policy_;
+  std::vector<std::deque<Waiting>> queues_;  // per tenant
+  std::vector<Batch> sealed_;
+  std::uint64_t batches_sealed_ = 0;
+  std::uint64_t requests_admitted_ = 0;
+};
+
+}  // namespace maco::serve

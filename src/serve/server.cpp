@@ -1,0 +1,265 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maco::serve {
+namespace {
+
+constexpr sim::TimePs kNever = std::numeric_limits<sim::TimePs>::max();
+
+double ps_to_ms(sim::TimePs ps) {
+  return static_cast<double>(ps) / 1e9;
+}
+
+double ps_to_s(sim::TimePs ps) {
+  return static_cast<double>(ps) / static_cast<double>(sim::kPsPerSecond);
+}
+
+// Discrete-event loop over three event kinds — request arrival, batcher
+// forced-close deadline, batch completion — merged in virtual time. Ties
+// resolve completion, then arrival, then deadline, so a request arriving
+// exactly at a deadline still joins the closing window.
+class ServeLoop {
+ public:
+  ServeLoop(BatchCostModel& cost, const ServeConfig& config)
+      : cost_(cost),
+        config_(config),
+        batcher_(config.arrival.tenants, config.policy),
+        think_rng_(0x7417ull ^ (config.arrival.seed * 0x94d049bb133111ebull)) {
+    if (config.instances == 0) {
+      throw std::invalid_argument("serve needs >= 1 model instance");
+    }
+    if (config.arrival.tenants == 0) {
+      throw std::invalid_argument("serve needs >= 1 tenant");
+    }
+    if (config.closed_loop && config.concurrency == 0) {
+      throw std::invalid_argument("closed loop needs >= 1 session");
+    }
+    if (config.closed_loop &&
+        (!std::isfinite(config.think_s) || config.think_s < 0.0)) {
+      throw std::invalid_argument("closed loop think_s must be >= 0");
+    }
+    for (unsigned i = 0; i < config.instances; ++i) {
+      instances_.push({0, i});
+    }
+    if (config.closed_loop) {
+      const unsigned sessions = static_cast<unsigned>(std::min<std::uint64_t>(
+          config.concurrency, config.arrival.requests));
+      for (unsigned session = 0; session < sessions; ++session) {
+        spawn(session % config.arrival.tenants, think_delay_ps());
+      }
+    } else {
+      records_ = LoadGenerator(config.arrival).schedule();
+    }
+  }
+
+  ServeReport run() {
+    while (step()) {
+    }
+    return finish();
+  }
+
+ private:
+  struct Pending {  // a not-yet-admitted arrival (closed loop)
+    sim::TimePs at;
+    std::uint64_t id;
+    bool operator>(const Pending& other) const noexcept {
+      return at != other.at ? at > other.at : id > other.id;
+    }
+  };
+
+  struct Completion {
+    sim::TimePs at;
+    std::uint64_t seq;  // dispatch order breaks timestamp ties
+    Batch batch;
+    sim::TimePs exec_start;
+    bool operator>(const Completion& other) const noexcept {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  using InstanceSlot = std::pair<sim::TimePs, unsigned>;  // free-at, index
+
+  sim::TimePs think_delay_ps() {
+    if (config_.think_s <= 0.0) return 0;
+    const double wait =
+        -std::log(1.0 - think_rng_.next_double()) * config_.think_s;
+    return static_cast<sim::TimePs>(
+        std::llround(wait * static_cast<double>(sim::kPsPerSecond)));
+  }
+
+  void spawn(unsigned tenant, sim::TimePs at) {  // closed loop only
+    if (issued_ >= config_.arrival.requests) return;
+    ++issued_;
+    Request request;
+    request.id = records_.size();
+    request.tenant = tenant;
+    request.arrival_ps = at;
+    pending_.push(Pending{at, request.id});
+    records_.push_back(request);
+  }
+
+  sim::TimePs next_arrival() const {
+    if (config_.closed_loop) {
+      return pending_.empty() ? kNever : pending_.top().at;
+    }
+    return cursor_ < records_.size() ? records_[cursor_].arrival_ps : kNever;
+  }
+
+  bool step() {
+    const sim::TimePs t_completion =
+        completions_.empty() ? kNever : completions_.top().at;
+    const sim::TimePs t_arrival = next_arrival();
+    const sim::TimePs t_deadline =
+        batcher_.next_deadline().value_or(kNever);
+    const sim::TimePs now = std::min({t_completion, t_arrival, t_deadline});
+    if (now == kNever) return false;
+
+    if (t_completion == now) {
+      complete(completions_.top());
+      completions_.pop();
+    } else if (t_arrival == now) {
+      const std::uint64_t id =
+          config_.closed_loop ? admit_pending() : records_[cursor_++].id;
+      batcher_.enqueue(id, records_[id].tenant, now);
+    }
+    // Deadline events need no handler of their own: collect() seals every
+    // queue whose window expired at or before `now`.
+    for (Batch& batch : batcher_.collect(now)) {
+      dispatch(std::move(batch));
+    }
+    return true;
+  }
+
+  std::uint64_t admit_pending() {
+    const std::uint64_t id = pending_.top().id;
+    pending_.pop();
+    return id;
+  }
+
+  void dispatch(Batch batch) {
+    const InstanceSlot slot = instances_.top();
+    instances_.pop();
+    // The instance free times of every earlier batch are already known, so
+    // greedy earliest-free assignment at seal time is exact FIFO dispatch.
+    const sim::TimePs start = std::max(batch.close_ps, slot.first);
+    const sim::TimePs done = start + cost_.batch_makespan_ps(batch.size());
+    instances_.push({done, slot.second});
+    completions_.push(
+        Completion{done, dispatch_seq_++, std::move(batch), start});
+  }
+
+  void complete(const Completion& completion) {
+    ++report_.batches;
+    for (const std::uint64_t id : completion.batch.requests) {
+      Request& request = records_[id];
+      request.batch_close_ps = completion.batch.close_ps;
+      request.exec_start_ps = completion.exec_start;
+      request.completion_ps = completion.at;
+      record(request);
+      if (config_.closed_loop) {
+        spawn(request.tenant, completion.at + think_delay_ps());
+      }
+    }
+  }
+
+  void record(const Request& request) {
+    const double latency = ps_to_ms(request.completion_ps -
+                                    request.arrival_ps);
+    report_.latency_ms.record(latency);
+    report_.batching_ms.record(
+        ps_to_ms(request.batch_close_ps - request.arrival_ps));
+    report_.queueing_ms.record(
+        ps_to_ms(request.exec_start_ps - request.batch_close_ps));
+    report_.execution_ms.record(
+        ps_to_ms(request.completion_ps - request.exec_start_ps));
+    ++report_.completed;
+    if (report_.tenants.size() < config_.arrival.tenants) {
+      report_.tenants.resize(config_.arrival.tenants);
+    }
+    TenantReport& tenant = report_.tenants[request.tenant];
+    ++tenant.completed;
+    tenant.latency_ms.record(latency);
+    const bool within_slo = latency <= config_.slo_ms;
+    if (within_slo) ++tenant.slo_met;
+    last_arrival_ps_ = std::max(last_arrival_ps_, request.arrival_ps);
+    last_completion_ps_ = std::max(last_completion_ps_, request.completion_ps);
+  }
+
+  ServeReport finish() {
+    report_.tenants.resize(config_.arrival.tenants);
+    report_.duration_s = ps_to_s(last_completion_ps_);
+    const double arrival_span_s = ps_to_s(last_arrival_ps_);
+    const double completed = static_cast<double>(report_.completed);
+    if (arrival_span_s > 0.0) {
+      report_.offered_rps = completed / arrival_span_s;
+    }
+    std::uint64_t slo_met = 0;
+    double tenant_sum = 0.0;
+    double tenant_sq = 0.0;
+    for (const TenantReport& tenant : report_.tenants) {
+      slo_met += tenant.slo_met;
+      const double share = static_cast<double>(tenant.completed);
+      tenant_sum += share;
+      tenant_sq += share * share;
+    }
+    if (report_.duration_s > 0.0) {
+      report_.throughput_rps = completed / report_.duration_s;
+      report_.goodput_rps =
+          static_cast<double>(slo_met) / report_.duration_s;
+    }
+    if (report_.completed > 0) {
+      report_.slo_attainment =
+          static_cast<double>(slo_met) / completed;
+      report_.fairness =  // Jain's index over per-tenant completions
+          tenant_sum * tenant_sum /
+          (static_cast<double>(report_.tenants.size()) * tenant_sq);
+    }
+    if (report_.batches > 0) {
+      report_.mean_batch = completed / static_cast<double>(report_.batches);
+    }
+    if (const os::SchedulerStats* stats = cost_.scheduler_stats()) {
+      report_.scheduler = *stats;
+      report_.has_scheduler_stats = true;
+    }
+    return std::move(report_);
+  }
+
+  BatchCostModel& cost_;
+  const ServeConfig& config_;
+  DynamicBatcher batcher_;
+  util::Rng think_rng_;
+
+  std::vector<Request> records_;
+  std::size_t cursor_ = 0;       // open loop: next schedule entry
+  std::uint64_t issued_ = 0;     // closed loop: requests created so far
+  std::uint64_t dispatch_seq_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+      pending_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions_;
+  std::priority_queue<InstanceSlot, std::vector<InstanceSlot>,
+                      std::greater<>>
+      instances_;
+
+  sim::TimePs last_arrival_ps_ = 0;
+  sim::TimePs last_completion_ps_ = 0;
+  ServeReport report_;
+};
+
+}  // namespace
+
+ServeReport serve(BatchCostModel& cost, const ServeConfig& config) {
+  return ServeLoop(cost, config).run();
+}
+
+}  // namespace maco::serve

@@ -1,0 +1,82 @@
+// The multi-tenant serve loop.
+//
+// A discrete-event simulation in virtual time that wires the pieces
+// together: requests arrive (open-loop from a LoadGenerator schedule, or
+// closed-loop from a fixed pool of sessions with exponential think time),
+// the DynamicBatcher admits them into per-tenant queues and seals batches,
+// and sealed batches run on one of `instances` concurrent model instances
+// whose execution cost comes from a BatchCostModel. Every request is
+// charged three delays in simulated picoseconds — batching (arrival to
+// seal), queueing (seal to execution start) and execution (batch
+// makespan) — and the report aggregates them into latency percentiles,
+// throughput, SLO goodput and per-tenant fairness.
+//
+// The loop is O(log instances) per batch and O(1) per request, so
+// million-request streams are cheap; the machine is only evaluated once
+// per distinct batch size (see serve/cost_model.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/scheduler.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cost_model.hpp"
+#include "serve/workload.hpp"
+#include "util/latency_histogram.hpp"
+
+namespace maco::serve {
+
+struct ServeConfig {
+  ArrivalConfig arrival;  // tenants/requests/seed also govern closed loop
+  BatchPolicy policy;
+  unsigned instances = 1;  // concurrent model instances (executors)
+  double slo_ms = 10.0;    // latency objective for goodput accounting
+
+  // Closed loop: `concurrency` sessions each keep one request in flight
+  // and re-issue after an exponential think time with mean `think_s`.
+  // arrival.kind / arrival.rate_rps are ignored; arrival.tenants,
+  // arrival.requests (total issued) and arrival.seed still apply.
+  bool closed_loop = false;
+  unsigned concurrency = 8;
+  double think_s = 0.0;
+};
+
+struct TenantReport {
+  std::uint64_t completed = 0;
+  std::uint64_t slo_met = 0;
+  util::LatencyHistogram latency_ms;
+};
+
+struct ServeReport {
+  std::uint64_t completed = 0;       // requests served to completion
+  std::uint64_t batches = 0;         // batches executed
+  double duration_s = 0.0;           // simulated time to last completion
+  double offered_rps = 0.0;          // admitted / span of arrivals
+  double throughput_rps = 0.0;       // completed / duration_s
+  double goodput_rps = 0.0;          // completions within slo / duration_s
+  double slo_attainment = 0.0;       // fraction of completions within slo
+  double mean_batch = 0.0;           // completed / batches
+  double fairness = 0.0;             // Jain index over tenant completions
+
+  // End-to-end latency plus its three components, all in milliseconds.
+  util::LatencyHistogram latency_ms;
+  util::LatencyHistogram batching_ms;   // arrival -> batch seal
+  util::LatencyHistogram queueing_ms;   // seal -> execution start
+  util::LatencyHistogram execution_ms;  // execution start -> completion
+
+  std::vector<TenantReport> tenants;
+
+  // Accumulated os::Scheduler counters when the cost model measures
+  // through the detailed machine; all-zero (and flagged absent) otherwise.
+  os::SchedulerStats scheduler;
+  bool has_scheduler_stats = false;
+};
+
+// Runs the serve simulation to completion (every admitted request served)
+// and returns the report. Deterministic: equal configs give bit-identical
+// reports regardless of host, thread count or wall-clock. Throws
+// std::invalid_argument on inconsistent configuration.
+ServeReport serve(BatchCostModel& cost, const ServeConfig& config);
+
+}  // namespace maco::serve

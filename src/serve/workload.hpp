@@ -1,0 +1,123 @@
+// Serving load generation: request streams in simulated time.
+//
+// A serving simulation starts from an arrival process. This header owns
+// everything up to admission: the Request record that flows through the
+// serve pipeline (arrival -> admission -> batch -> schedule -> complete,
+// timestamps charged in engine virtual time), the seeded-deterministic
+// open-loop generators (Poisson, uniform, trace-driven replay) and the
+// model catalogue that maps a served model name to the GEMM layer list one
+// batch of B requests executes. Closed-loop (fixed-concurrency, think
+// time) arrivals depend on completions, so they are produced incrementally
+// by serve::Server using the same seeded streams; the generator here
+// covers every schedule that can be fixed before the simulation runs.
+//
+// Determinism contract: the same ArrivalConfig (including seed) yields a
+// bit-identical schedule — arrival times, tenants, order — on every run,
+// platform and thread count. All randomness flows through util::Rng.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sa/types.hpp"
+#include "sim/time.hpp"
+#include "workloads/gemm_workload.hpp"
+
+namespace maco::serve {
+
+// One inference request travelling through the serving pipeline. The
+// timestamps after `arrival_ps` are filled in by serve::Server as the
+// request passes each stage.
+struct Request {
+  std::uint64_t id = 0;
+  unsigned tenant = 0;
+  sim::TimePs arrival_ps = 0;      // entered the tenant's admission queue
+  sim::TimePs batch_close_ps = 0;  // the batch it joined was sealed
+  sim::TimePs exec_start_ps = 0;   // the batch began executing
+  sim::TimePs completion_ps = 0;   // the batch's makespan elapsed
+
+  sim::TimePs latency_ps() const noexcept {
+    return completion_ps - arrival_ps;
+  }
+  sim::TimePs batching_delay_ps() const noexcept {
+    return batch_close_ps - arrival_ps;
+  }
+  sim::TimePs queueing_delay_ps() const noexcept {
+    return exec_start_ps - batch_close_ps;
+  }
+  sim::TimePs execution_ps() const noexcept {
+    return completion_ps - exec_start_ps;
+  }
+};
+
+enum class ArrivalKind {
+  kPoisson,  // exponential inter-arrival times at rate_rps
+  kUniform,  // deterministic equal spacing at rate_rps
+  kTrace,    // replay of explicit arrival timestamps
+};
+
+const char* arrival_kind_name(ArrivalKind kind) noexcept;
+// Throws std::invalid_argument on an unknown spelling.
+ArrivalKind parse_arrival_kind(const std::string& name);
+
+// One trace-driven arrival: a timestamp, optionally pinned to a tenant
+// (-1 = assigned from the seeded tenant stream like generated arrivals).
+struct TraceEntry {
+  double arrival_s = 0.0;
+  int tenant = -1;
+};
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 100.0;        // aggregate open-loop arrival rate
+  unsigned tenants = 1;           // requests are assigned uniformly
+  std::uint64_t requests = 1000;  // schedule length (kPoisson/kUniform)
+  std::uint64_t seed = 1;
+  // kTrace: arrivals replayed verbatim (sorted internally);
+  // `requests`/`rate_rps` are ignored for the timeline.
+  std::vector<TraceEntry> trace;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const ArrivalConfig& config);
+
+  // The full open-loop schedule, sorted by arrival time, ids in arrival
+  // order. Deterministic in the config (see header contract). Throws
+  // std::invalid_argument on a non-positive rate or an empty trace.
+  std::vector<Request> schedule() const;
+
+  const ArrivalConfig& config() const noexcept { return config_; }
+
+ private:
+  ArrivalConfig config_;
+};
+
+// Parses trace text into ArrivalConfig::trace: one arrival per line,
+// either "SECONDS" or "SECONDS TENANT"; blank lines and #-comments are
+// skipped. Lines with an explicit tenant pin the request to that tenant
+// (modulo the configured tenant count); others are assigned from the
+// seeded stream. Throws std::runtime_error on a malformed line.
+std::vector<TraceEntry> parse_trace(const std::string& text);
+
+// ---- served models ----
+
+// A model the serve loop can host: `layers(batch)` is the GEMM task list
+// one admitted batch of `batch` requests executes (batch scales the GEMM
+// M/N dims exactly as the offline workload generators do).
+struct ServeModel {
+  std::string name;
+  sa::Precision precision = sa::Precision::kFp32;
+  unsigned seq_len = 0;  // 0 when the model has no sequence dimension
+
+  std::vector<sa::TileShape> layers(unsigned batch) const;
+};
+
+// Catalogue: tiny (a three-layer MLP small enough for the detailed
+// machine), resnet50, bert, gpt3 (the offline workload generators at the
+// batch size of the admitted batch). Throws std::invalid_argument on an
+// unknown name.
+ServeModel serve_model(const std::string& name, unsigned seq_len);
+
+}  // namespace maco::serve

@@ -1,0 +1,112 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace maco::util {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, unsigned per_decade)
+    : lo_(lo),
+      hi_(hi),
+      log_lo_(std::log10(lo)),
+      buckets_per_log10_(static_cast<double>(per_decade)) {
+  MACO_ASSERT(lo > 0.0 && hi > lo && per_decade > 0);
+  const double decades = std::log10(hi) - log_lo_;
+  regular_buckets_ =
+      static_cast<std::size_t>(std::ceil(decades * buckets_per_log10_));
+  bins_.assign(regular_buckets_ + 2, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(double sample) const noexcept {
+  if (!(sample >= lo_)) return 0;  // underflow (incl. non-positive)
+  if (sample >= hi_) return regular_buckets_ + 1;
+  const double offset = (std::log10(sample) - log_lo_) * buckets_per_log10_;
+  std::size_t index = static_cast<std::size_t>(offset);
+  // Floating-point edge guard: log10 rounding can land exactly-on-edge
+  // samples one bucket high at the top of the range.
+  if (index >= regular_buckets_) index = regular_buckets_ - 1;
+  return index + 1;
+}
+
+double LatencyHistogram::bucket_lower(std::size_t index) const noexcept {
+  return std::pow(10.0, log_lo_ + static_cast<double>(index - 1) /
+                                      buckets_per_log10_);
+}
+
+void LatencyHistogram::record(double sample) noexcept {
+  ++bins_[bucket_index(sample)];
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  MACO_ASSERT(bins_.size() == other.bins_.size() && lo_ == other.lo_ &&
+              hi_ == other.hi_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  if (other.count_ > 0) {
+    min_ = count_ > 0 ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ > 0 ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank with interpolation
+  // inside the landing bucket).
+  const double rank = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(bins_[i]);
+    if (rank <= next || i + 1 == bins_.size()) {
+      double lower;
+      double upper;
+      if (i == 0) {  // underflow: everything below lo_
+        lower = min_;
+        upper = lo_;
+      } else if (i == regular_buckets_ + 1) {  // overflow
+        lower = hi_;
+        upper = max_;
+      } else {
+        lower = bucket_lower(i);
+        upper = bucket_lower(i + 1);
+      }
+      lower = std::max(lower, min_);
+      upper = std::min(upper, max_);
+      if (!(upper > lower)) return std::clamp(lower, min_, max_);
+      // Geometric interpolation matches the bucket spacing, so the
+      // relative error stays bounded by the bucket ratio. Non-positive
+      // bounds (underflow bin holding a zero sample) fall back to linear.
+      const double frac = std::clamp(
+          (rank - cumulative) / static_cast<double>(bins_[i]), 0.0, 1.0);
+      const double value =
+          lower > 0.0 ? lower * std::pow(upper / lower, frac)
+                      : lower + (upper - lower) * frac;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace maco::util
