@@ -15,6 +15,17 @@ ExecMode parse_exec_mode(const std::string& name) {
                               "' (expected event|lockstep)");
 }
 
+const char* profile_mode_name(ProfileMode mode) noexcept {
+  return mode == ProfileMode::kCounters ? "counters" : "off";
+}
+
+ProfileMode parse_profile_mode(const std::string& name) {
+  if (name == "off") return ProfileMode::kOff;
+  if (name == "counters") return ProfileMode::kCounters;
+  throw std::invalid_argument("unknown profile mode '" + name +
+                              "' (expected off|counters)");
+}
+
 SystemConfig SystemConfig::maco_default() {
   SystemConfig config;
   // Table I / Table IV values are already the defaults of the component

@@ -31,6 +31,18 @@ enum class ExecMode : unsigned { kEventDriven = 0, kLockstep = 1 };
 const char* exec_mode_name(ExecMode mode) noexcept;
 ExecMode parse_exec_mode(const std::string& name);
 
+// Observability level of the detailed machine. kOff (default) records
+// nothing beyond what components count anyway and is bit-identical in
+// timing to a build without the knob; kCounters additionally enables
+// per-link NoC traffic accounting and, after the run, publishes every
+// component counter into the engine's StatRegistry under hierarchical
+// dotted names so obs::collect can roll them into metrics. Profiling
+// never feeds back into timing (pinned by tests/test_obs.cpp).
+enum class ProfileMode : unsigned { kOff = 0, kCounters = 1 };
+
+const char* profile_mode_name(ProfileMode mode) noexcept;
+ProfileMode parse_profile_mode(const std::string& name);
+
 struct SystemConfig {
   unsigned node_count = 16;  // up to 16 homogeneous compute nodes
   cpu::CpuConfig cpu{};
@@ -43,6 +55,7 @@ struct SystemConfig {
   mem::DramConfig dram{};                   // per-channel backend + timings
   noc::IcntKind icnt = noc::IcntKind::kAnalytic;  // detailed-machine NoC
   ExecMode exec = ExecMode::kEventDriven;   // detailed-machine scheduler
+  ProfileMode profile = ProfileMode::kOff;  // observability (see obs/)
 
   // Fast-model latency constants (calibrated; see DESIGN.md §5).
   sim::TimePs noc_hop_ps = 500;            // one NoC cycle per hop

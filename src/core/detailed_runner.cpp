@@ -8,7 +8,10 @@
 #include <thread>
 
 #include "core/maco_system.hpp"
+#include "isa/encoding.hpp"
 #include "isa/params.hpp"
+#include "obs/collector.hpp"
+#include "obs/host_profile.hpp"
 #include "os/scheduler.hpp"
 #include "sa/host_matrix.hpp"
 #include "util/rng.hpp"
@@ -173,7 +176,8 @@ isa::GemmParams build_detailed_gemm_task(
 }
 
 SystemTiming run_detailed_gemm(const SystemConfig& config,
-                               const TimingOptions& options) {
+                               const TimingOptions& options,
+                               obs::RunObservation* observation) {
   check_supported(config, options);
 
   SystemConfig detailed_config = config;
@@ -181,6 +185,7 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
       1u, std::min(options.active_nodes, config.node_count));
   detailed_config.mmae.use_matlb = options.use_matlb;
 
+  obs::ScopedPhase setup_phase("setup");
   MacoSystem system(detailed_config);
   const unsigned nodes = system.node_count();
 
@@ -202,7 +207,12 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
         system, process, options.shape, options, /*a_page_offset=*/0,
         /*b_page_offset=*/0, /*c_page_offset=*/0, /*data_seed=*/n)});
   }
+  setup_phase.stop();
+
+  obs::ScopedPhase sim_phase("sim");
   const os::SchedulerStats sched_stats = scheduler.run_all();
+  sim_phase.stop();
+  obs::ScopedPhase collect_phase("collect");
   if (sched_stats.tasks_failed > 0) {
     throw std::runtime_error(
         "detailed run failed: " + std::to_string(sched_stats.tasks_failed) +
@@ -276,6 +286,35 @@ SystemTiming run_detailed_gemm(const SystemConfig& config,
   timing.os.faults_repaired = sched_stats.faults_repaired;
   timing.os.scheduling_rounds = sched_stats.scheduling_rounds;
   timing.os.tasks_completed = sched_stats.tasks_completed;
+
+  if (observation != nullptr) {
+    if (observation->want_trace) {
+      for (unsigned n = 0; n < nodes; ++n) {
+        const std::string track = "node" + std::to_string(n) + ".mmae";
+        sim::TimePs job_start = ~sim::TimePs{0};
+        sim::TimePs job_end = 0;
+        for (const mmae::TaskReport& report : system.node(n).mmae().reports()) {
+          obs::SpanRec span;
+          span.track = track;
+          // A repaired fault shows up as its own attempt before the retry.
+          span.name = report.exception == cpu::ExceptionType::kNone
+                          ? std::string(isa::mnemonic_name(report.op))
+                          : std::string("fault:") +
+                                cpu::exception_type_name(report.exception);
+          span.start = report.start;
+          span.end = report.end;
+          job_start = std::min(job_start, report.start);
+          job_end = std::max(job_end, report.end);
+          observation->spans.push_back(std::move(span));
+        }
+        if (job_end > 0) {
+          observation->spans.push_back(obs::SpanRec{
+              "os", "job" + std::to_string(n), job_start, job_end});
+        }
+      }
+    }
+    if (observation->want_counters) obs::collect(system, *observation);
+  }
   return timing;
 }
 

@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "core/timing_model.hpp"
 #include "isa/params.hpp"
+#include "obs/observation.hpp"
 
 namespace maco::core {
 
@@ -37,8 +38,15 @@ inline constexpr std::uint64_t kDetailedMaxDim = 2048;
 // Execution is driven through os::Scheduler (one single-task job per
 // active node), so the returned SystemTiming carries the OS counters in
 // `timing.os`.
+//
+// With a non-null `observation` the run additionally captures what its
+// want_* flags ask for — registry counters and NoC traffic
+// (want_counters, meaningful under config.profile=counters) and per-node
+// MMAE task spans plus OS job spans (want_trace). Capture happens after
+// the engine quiesces and never changes the returned timing.
 SystemTiming run_detailed_gemm(const SystemConfig& config,
-                               const TimingOptions& options);
+                               const TimingOptions& options,
+                               obs::RunObservation* observation = nullptr);
 
 // Allocates the three operand matrices of one GEMM task in `process`
 // (shifted into their pages by the byte offsets), writes seeded random

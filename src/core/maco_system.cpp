@@ -128,6 +128,9 @@ MacoSystem::MacoSystem(const SystemConfig& config) : config_(config) {
   }
 
   icnt_ = noc::make_icnt_model(config_.icnt_config());
+  // Per-link traffic accounting is the one observability hook that must
+  // record during the run; it never feeds back into timing.
+  if (config_.profile == ProfileMode::kCounters) icnt_->enable_link_stats();
   mesh_ = std::make_unique<noc::MeshNetwork>(engine_, config_.mesh);
 
   node_port_free_.assign(config_.node_count, 0);

@@ -104,6 +104,19 @@ class MacoSystem {
   mem::DirectoryCcm& ccm_for(vm::PhysAddr pa);
   unsigned ccm_home_node(vm::PhysAddr pa) const noexcept;
   mem::DramModel& dram_for(vm::PhysAddr pa);
+  // Enumeration by index (used by obs::collect's counter walk).
+  unsigned dram_channel_count() const noexcept {
+    return static_cast<unsigned>(drams_.size());
+  }
+  const mem::DramModel& dram_channel(unsigned index) const {
+    return *drams_.at(index);
+  }
+  unsigned ccm_slice_count() const noexcept {
+    return static_cast<unsigned>(ccms_.size());
+  }
+  const mem::DirectoryCcm& ccm_slice(unsigned index) const {
+    return *ccms_.at(index);
+  }
   // The interconnect backend the `icnt` knob selected (charges NoC time
   // per line transfer; analytic reproduces the historic hop formula).
   noc::IcntModel& icnt() noexcept { return *icnt_; }

@@ -249,11 +249,66 @@ CliParse parse_store_cli(const std::vector<std::string>& args) {
   return result;
 }
 
+// `macosim trace FILE.trace.json`: render a --trace-out file as an ASCII
+// Gantt chart (plus the NoC heatmap when the file carries link traffic).
+CliParse parse_trace_cli(const std::vector<std::string>& args) {
+  CliParse result;
+  CliOptions& options = result.options;
+  options.command = CliCommand::kTrace;
+
+  const auto value_of = [&](std::size_t& i, std::string& out) {
+    if (i + 1 >= args.size()) {
+      result.error = "missing value after " + args[i];
+      return false;
+    }
+    out = args[++i];
+    return true;
+  };
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (arg == "--width") {
+      if (!value_of(i, value)) return result;
+      if (!parse_unsigned(value, options.trace_width) ||
+          options.trace_width < 16) {
+        result.error = "--width wants an integer >= 16, got '" + value +
+                       "'";
+        return result;
+      }
+    } else if (arg == "--noc-csv") {
+      if (!value_of(i, value)) return result;
+      options.noc_csv_path = value;
+    } else if (arg == "--output" || arg == "-o") {
+      if (!value_of(i, value)) return result;
+      options.output_path = value;
+    } else if (options.trace_path.empty() && !arg.empty() &&
+               arg[0] != '-') {
+      options.trace_path = arg;
+    } else {
+      result.error = "unknown trace argument '" + arg +
+                     "' (see macosim trace --help)";
+      return result;
+    }
+  }
+  if (!options.show_help && options.trace_path.empty()) {
+    result.error =
+        "trace needs a file: macosim trace FILE.trace.json [--width N] "
+        "[--noc-csv FILE]";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 CliParse parse_cli(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "report") return parse_report_cli(args);
   if (!args.empty() && args[0] == "store") return parse_store_cli(args);
+  if (!args.empty() && args[0] == "trace") return parse_trace_cli(args);
 
   CliParse result;
   CliOptions& options = result.options;
@@ -332,6 +387,13 @@ CliParse parse_cli(const std::vector<std::string>& args) {
     } else if (arg == "--store") {
       if (!value_of(i, value)) return result;
       options.store_path = value;
+    } else if (arg == "--trace-out") {
+      if (!value_of(i, value)) return result;
+      if (value.empty()) {
+        result.error = "--trace-out wants a directory";
+        return result;
+      }
+      options.trace_out = value;
     } else if (arg == "--csv") {
       if (!value_of(i, value)) return result;
       options.csv_path = value;
@@ -405,6 +467,8 @@ std::string usage() {
          "       macosim report --store FILE [report options]\n"
          "       macosim store compact --store FILE\n"
          "       macosim store import FILE.json --store FILE\n"
+         "       macosim trace FILE.trace.json [--width N] "
+         "[--noc-csv FILE]\n"
          "\n"
          "options:\n"
          "  --scenario NAME        scenario to run (see --list-scenarios)\n"
@@ -414,6 +478,10 @@ std::string usage() {
          "  --threads N            worker threads for the sweep (default 1)\n"
          "  --store FILE           campaign store: record every point and\n"
          "                         skip points already recorded (resume)\n"
+         "  --trace-out DIR        write one Chrome/Perfetto trace JSON per\n"
+         "                         executed point that produced spans\n"
+         "                         (detailed runs and serve; open in\n"
+         "                         ui.perfetto.dev or macosim trace)\n"
          "  --output FILE          write results to FILE (see --format)\n"
          "  --format csv|json      format for --output (inferred from a\n"
          "                         .csv/.json extension; other extensions\n"
@@ -453,6 +521,15 @@ std::string usage() {
          "                         re-validated and fingerprinted under\n"
          "                         the current schemas, already-present\n"
          "                         points are skipped\n"
+         "\n"
+         "trace rendering:\n"
+         "  macosim trace FILE.trace.json\n"
+         "                         ASCII Gantt of the trace's spans; adds\n"
+         "                         a per-node NoC utilization heatmap when\n"
+         "                         the file carries link traffic\n"
+         "  --width N              Gantt chart columns (default 72)\n"
+         "  --noc-csv FILE         also dump per-link utilization CSV\n"
+         "  --output FILE          write the rendering to FILE\n"
          "\n"
          "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
          "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"

@@ -34,6 +34,7 @@ enum class CliCommand {
   kReport,        // query/compare a campaign store
   kStoreCompact,  // rewrite a store keeping the latest record per point
   kStoreImport,   // load sweep-runner JSON (e.g. BENCH_*.json) into a store
+  kTrace,         // render a --trace-out JSON as ASCII Gantt + NoC heatmap
 };
 
 struct CliOptions {
@@ -51,6 +52,12 @@ struct CliOptions {
   std::string json_path;      // --json: empty => no JSON output
   std::string store_path;     // --store: campaign database (both commands)
   std::string import_path;    // store import: the sweep JSON to load
+  std::string trace_out;      // --trace-out DIR: per-point trace JSONs
+
+  // `trace` only: render one trace file in the terminal.
+  std::string trace_path;     // the .trace.json to render
+  unsigned trace_width = 72;  // --width: Gantt columns
+  std::string noc_csv_path;   // --noc-csv FILE: per-link utilization CSV
 
   // `report` only:
   std::string compare_path;                   // --compare OTHER_STORE

@@ -37,6 +37,11 @@ const exp::ParamSchema& hardware_schema() {
                 "detailed-machine time advance: event-driven with "
                 "quiescence fast-forward or the bit-equivalent lock-step "
                 "reference (fidelity=detailed|sampled)");
+    s.enumerant("profile", std::string(core::profile_mode_name(d.profile)),
+                {"off", "counters"},
+                "observability: publish component counters into the "
+                "engine StatRegistry and roll them into metrics "
+                "(fidelity=detailed; off is zero-overhead)");
     s.u64("dram_banks", d.dram.banks, "banks per DDR channel (dram=queued)",
           1, 64);
     s.u64("row_buffer_kib", d.dram.row_buffer_bytes / 1024,
@@ -149,6 +154,9 @@ void apply_hardware_params(const exp::ParamSet& params,
   }
   if (params.has("exec")) {
     config.exec = core::parse_exec_mode(params.str("exec"));
+  }
+  if (params.has("profile")) {
+    config.profile = core::parse_profile_mode(params.str("profile"));
   }
   u64_knob("dram_banks", [&](std::uint64_t v) {
     config.dram.banks = static_cast<unsigned>(v);

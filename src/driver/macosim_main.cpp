@@ -17,6 +17,7 @@
 #include "driver/scenario_registry.hpp"
 #include "driver/store_import.hpp"
 #include "driver/sweep_runner.hpp"
+#include "driver/trace_cmd.hpp"
 #include "store/campaign_store.hpp"
 #include "store/query.hpp"
 #include "util/table.hpp"
@@ -278,6 +279,48 @@ int run_store_import(const driver::CliOptions& options) {
   }
 }
 
+// The `trace` subcommand: render a --trace-out JSON as ASCII Gantt plus
+// the NoC heatmap when present. Exit codes: 0 ok, 2 usage/IO error.
+int run_trace(const driver::CliOptions& options) {
+  std::ifstream in(options.trace_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "macosim: cannot read " << options.trace_path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  driver::TraceRender render;
+  try {
+    render = driver::render_trace(text.str(), options.trace_width);
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << options.trace_path << ": " << error.what()
+              << "\n";
+    return 2;
+  }
+
+  std::ofstream file;
+  const bool to_file =
+      !options.output_path.empty() && options.output_path != "-";
+  if (to_file && !open_output(options.output_path, file)) return 2;
+  std::ostream& out =
+      to_file ? static_cast<std::ostream&>(file) : std::cout;
+  out << render.gantt;
+  if (!render.noc_text.empty()) out << "\n" << render.noc_text;
+
+  if (!options.noc_csv_path.empty()) {
+    if (render.noc_csv.empty()) {
+      std::cerr << "macosim: " << options.trace_path
+                << " carries no NoC link traffic (--noc-csv needs a "
+                   "profile=counters trace)\n";
+      return 2;
+    }
+    std::ofstream csv;
+    if (!open_output(options.noc_csv_path, csv)) return 2;
+    csv << render.noc_csv;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +344,9 @@ int main(int argc, char** argv) {
   if (options.command == driver::CliCommand::kStoreImport) {
     return run_store_import(options);
   }
+  if (options.command == driver::CliCommand::kTrace) {
+    return run_trace(options);
+  }
 
   const driver::ScenarioRegistry registry =
       driver::ScenarioRegistry::builtin();
@@ -314,6 +360,7 @@ int main(int argc, char** argv) {
   request.base_params = options.params;
   request.axes = options.sweeps;
   request.threads = options.threads;
+  request.trace_out = options.trace_out;
 
   std::unique_ptr<store::CampaignStore> campaign;
   if (!options.store_path.empty()) {

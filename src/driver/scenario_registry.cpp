@@ -17,6 +17,9 @@
 #include "mem/cache.hpp"
 #include "mem/queued_dram.hpp"
 #include "model/area_power.hpp"
+#include "obs/collector.hpp"
+#include "obs/observation.hpp"
+#include "obs/trace_writer.hpp"
 #include "sa/sparse.hpp"
 #include "serve/server.hpp"
 #include "workloads/dnn_models.hpp"
@@ -78,16 +81,32 @@ CrossRule backends_need_detail_rule() {
       }};
 }
 
+// profile=counters publishes the detailed machine's component counters;
+// the closed forms have nothing to publish, so a counters point that
+// doesn't run the detailed backend would silently report no counters —
+// make it a typed error instead. Scenarios whose fidelity list excludes
+// "detailed" reject profile=counters outright through this rule.
+CrossRule profile_needs_detailed_rule() {
+  return CrossRule{
+      "profile=counters requires fidelity=detailed",
+      [](const exp::ParamSet& scenario, const exp::ParamSet& hardware) {
+        return hardware.str("profile") != "counters" ||
+               scenario.str("fidelity") == "detailed";
+      }};
+}
+
 // The same guard for scenarios with no detailed machine at all (no
-// `fidelity` parameter): backend/scheduler knobs are inapplicable.
+// `fidelity` parameter): backend/scheduler/observability knobs are
+// inapplicable.
 CrossRule backends_fixed_rule() {
   return CrossRule{
-      "dram=simple, icnt=analytic, exec=event (scenario has no detailed "
-      "machine)",
+      "dram=simple, icnt=analytic, exec=event, profile=off (scenario has "
+      "no detailed machine)",
       [](const exp::ParamSet&, const exp::ParamSet& hardware) {
         return hardware.str("dram") == "simple" &&
                hardware.str("icnt") == "analytic" &&
-               hardware.str("exec") == "event";
+               hardware.str("exec") == "event" &&
+               hardware.str("profile") == "off";
       }};
 }
 
@@ -239,6 +258,37 @@ void add_system_metrics(ScenarioResult& result,
   }
 }
 
+// Runs the backend with `observation` attached when the request wants
+// counters (profile=counters) or a trace (--trace-out); a plain run
+// otherwise, so unobserved points take the exact historic path.
+core::SystemTiming run_observed(const ScenarioRequest& request,
+                                exp::ExecutionBackend& backend,
+                                const core::TimingOptions& options,
+                                obs::RunObservation& observation) {
+  observation.want_counters =
+      request.config.profile == core::ProfileMode::kCounters;
+  observation.want_trace = request.collect_trace;
+  if (!observation.want_counters && !observation.want_trace) {
+    return backend.run(options);
+  }
+  return backend.run(options, &observation);
+}
+
+// Rolls a filled observation into the result: counter-derived metrics
+// (l2_hit_rate, dram_row_hit_rate, noc_max_link_util, ...) when counters
+// were collected, and the Chrome/Perfetto trace JSON when the request
+// asked for a trace and the run produced spans.
+void add_observation_outputs(const ScenarioRequest& request,
+                             const obs::RunObservation& observation,
+                             ScenarioResult& result) {
+  if (observation.want_counters) {
+    obs::add_counter_metrics(result, observation);
+  }
+  if (request.collect_trace && !observation.spans.empty()) {
+    result.trace_json = obs::to_perfetto_json(observation);
+  }
+}
+
 ScenarioResult run_workload_layers(const ScenarioRequest& request,
                                    const wl::Workload& workload) {
   const auto backend = request.backend();
@@ -270,15 +320,19 @@ Scenario gemm_scenario() {
       });
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     core::TimingOptions options = timing_options_from(request);
     const std::uint64_t size = request.params.u64("size");
     options.shape = sa::TileShape{size, size, size};
-    const core::SystemTiming timing = backend->run(options);
+    obs::RunObservation observation;
+    const core::SystemTiming timing =
+        run_observed(request, *backend, options, observation);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     add_system_metrics(result, timing);
+    add_observation_outputs(request, observation, result);
     return result;
   };
   return s;
@@ -296,6 +350,7 @@ Scenario hpl_scenario() {
   s.schema.u64("nb", 256, "panel width", 1, 65535);
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     return run_workload_layers(
         request,
@@ -315,6 +370,7 @@ Scenario dnn_scenario(std::string name, std::string description,
                            {"analytic", "sampled"});
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [make_workload = std::move(make_workload)](
               const ScenarioRequest& request) {
     return run_workload_layers(request, make_workload(request));
@@ -408,6 +464,7 @@ Scenario fig6_scenario() {
   s.schema.enumerant("fidelity", "analytic", {"analytic"},
                      "execution backend");
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -453,6 +510,7 @@ Scenario fig7_scenario() {
       });
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -462,11 +520,14 @@ Scenario fig7_scenario() {
     options.cooperative = false;
     options.active_nodes = active_nodes_from(request);
     apply_sampling_knobs(options, request.params);
-    const core::SystemTiming timing = backend->run(options);
+    obs::RunObservation observation;
+    const core::SystemTiming timing =
+        run_observed(request, *backend, options, observation);
     ScenarioResult result;
     result.add("size", static_cast<double>(size));
     result.add("nodes", options.active_nodes);
     add_system_metrics(result, timing);
+    add_observation_outputs(request, observation, result);
     return result;
   };
   return s;
@@ -525,6 +586,7 @@ Scenario ablation_scenario() {
                      "execution backend");
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     const auto backend = request.backend();
     const std::uint64_t size = request.params.u64("size");
@@ -707,11 +769,12 @@ Scenario micro_dram_scenario() {
   // hardware-schema constraint already ties the bank knobs to dram=queued;
   // reject the remaining inapplicable traits explicitly.
   s.cross_rules.push_back(CrossRule{
-      "icnt=analytic, exec=event (micro_dram exercises the DRAM model "
-      "only)",
+      "icnt=analytic, exec=event, profile=off (micro_dram exercises the "
+      "DRAM model only)",
       [](const exp::ParamSet&, const exp::ParamSet& hardware) {
         return hardware.str("icnt") == "analytic" &&
-               hardware.str("exec") == "event";
+               hardware.str("exec") == "event" &&
+               hardware.str("profile") == "off";
       }});
   s.run = [](const ScenarioRequest& request) {
     const auto dram = mem::make_dram_model("micro", request.config.dram);
@@ -768,9 +831,11 @@ Scenario speed_scenario() {
                1, 100);
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(CrossRule{
-      "exec=event (speed times both exec modes itself)",
+      "exec=event, profile=off (speed times both exec modes itself; "
+      "counter publication would skew the wall clock)",
       [](const exp::ParamSet&, const exp::ParamSet& hardware) {
-        return hardware.str("exec") == "event";
+        return hardware.str("exec") == "event" &&
+               hardware.str("profile") == "off";
       }});
   s.run = [](const ScenarioRequest& request) {
     core::TimingOptions options;
@@ -894,6 +959,7 @@ Scenario serve_scenario() {
       });
   s.cross_rules.push_back(nodes_fit_hardware_rule());
   s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
   s.run = [](const ScenarioRequest& request) {
     const exp::ParamSet& p = request.params;
     const serve::ServeModel model = serve::serve_model(
@@ -926,6 +992,7 @@ Scenario serve_scenario() {
     config.policy.timeout_ps = p.u64("batch_timeout_us") * sim::kPsPerUs;
     config.instances = static_cast<unsigned>(p.u64("instances"));
     config.slo_ms = p.f64("slo_ms");
+    config.record_trace = request.collect_trace;
 
     serve::CostModelOptions cost_options;
     cost_options.nodes = active_nodes_from(request);
@@ -976,6 +1043,38 @@ Scenario serve_scenario() {
       os.scheduling_rounds = report.scheduler.scheduling_rounds;
       os.tasks_completed = report.scheduler.tasks_completed;
       add_os_metrics(result, os);
+    }
+    const obs::RunObservation* measured = cost->observation();
+    if (request.collect_trace || measured != nullptr) {
+      obs::RunObservation observation;
+      observation.want_counters = measured != nullptr;
+      observation.want_trace = request.collect_trace;
+      if (measured != nullptr) {
+        // Counters and NoC traffic summed over every distinct batch-size
+        // measurement the cost oracle ran on the detailed machine.
+        observation.merge(*measured, 0);
+      }
+      // One track per model instance (executed batches) and per tenant
+      // (request lifecycle: wait = arrival->seal, queue = seal->start,
+      // exec = start->completion).
+      for (const serve::ServeReport::BatchTrace& batch : report.batch_log) {
+        observation.spans.push_back(obs::SpanRec{
+            "instance" + std::to_string(batch.instance),
+            "batch" + std::to_string(batch.seq) + " x" +
+                std::to_string(batch.size),
+            batch.exec_start_ps, batch.completion_ps});
+      }
+      for (const serve::Request& req : report.request_log) {
+        const std::string track = "tenant" + std::to_string(req.tenant);
+        const std::string id = "req" + std::to_string(req.id);
+        observation.spans.push_back(obs::SpanRec{
+            track, id + " wait", req.arrival_ps, req.batch_close_ps});
+        observation.spans.push_back(obs::SpanRec{
+            track, id + " queue", req.batch_close_ps, req.exec_start_ps});
+        observation.spans.push_back(obs::SpanRec{
+            track, id + " exec", req.exec_start_ps, req.completion_ps});
+      }
+      add_observation_outputs(request, observation, result);
     }
     return result;
   };

@@ -32,6 +32,12 @@ struct ScenarioRequest {
   core::SystemConfig config = core::SystemConfig::maco_default();
   exp::ParamSet params;
 
+  // Ask the scenario to record execution spans and return them as
+  // ScenarioResult::trace_json (driver --trace-out). Only scenarios that
+  // run a detailed machine or the serve loop produce spans; others ignore
+  // the flag and leave trace_json empty.
+  bool collect_trace = false;
+
   // The `fidelity` parameter when the scenario declares one (analytic
   // otherwise), and the matching execution backend over `config`.
   exp::Fidelity fidelity() const;

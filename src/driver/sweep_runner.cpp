@@ -4,12 +4,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
 
 #include "driver/hardware_knobs.hpp"
 #include "exp/results.hpp"
+#include "obs/host_profile.hpp"
 #include "store/campaign_store.hpp"
 #include "store/fingerprint.hpp"
 #include "util/table.hpp"
@@ -111,6 +114,11 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
   const std::size_t points = sweep_point_count(request.axes);
   results.rows.resize(points);
 
+  // Fail a bad --trace-out before any point runs, not after the sweep.
+  if (!request.trace_out.empty()) {
+    std::filesystem::create_directories(request.trace_out);
+  }
+
   // The resume key: the scenario's schema chained into the hardware
   // schema. A change to either invalidates every cached point of this
   // scenario rather than silently reusing stale results.
@@ -178,11 +186,48 @@ SweepResults run_sweep(const ScenarioRegistry& registry,
         ScenarioRequest run;
         apply_hardware_params(hardware_params, run.config);
         run.params = scenario_params;
+        run.collect_trace = !request.trace_out.empty();
+
+        // Host self-profiling piggybacks on profile=counters: the sink is
+        // installed for the run so the detailed runner / serve oracle's
+        // setup/sim/collect ScopedPhase timers land here; without it they
+        // stay no-ops.
+        const bool host_profile =
+            hardware_params.str("profile") == "counters";
+        obs::HostPhaseProfile phases;
         const auto start = std::chrono::steady_clock::now();
         try {
+          obs::ScopedHostProfile guard(host_profile ? &phases : nullptr);
           row.result = scenario->run(run);
         } catch (const std::exception& error) {
           row.error = error.what();
+        }
+        if (host_profile && row.ok()) {
+          const double total_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+          row.result.add("host_setup_ms", phases.ms("setup"), "ms",
+                         /*higher_is_better=*/false);
+          row.result.add("host_sim_ms", phases.ms("sim"), "ms",
+                         /*higher_is_better=*/false);
+          row.result.add("host_collect_ms", phases.ms("collect"), "ms",
+                         /*higher_is_better=*/false);
+          row.result.add("host_total_ms", total_ms, "ms",
+                         /*higher_is_better=*/false);
+        }
+        if (!request.trace_out.empty() && row.ok() &&
+            !row.result.trace_json.empty()) {
+          const std::filesystem::path path =
+              std::filesystem::path(request.trace_out) /
+              (scenario->name + "_p" + std::to_string(index) +
+               ".trace.json");
+          std::ofstream trace_file(path);
+          if (!trace_file) {
+            throw std::runtime_error("cannot write trace file '" +
+                                     path.string() + "'");
+          }
+          trace_file << row.result.trace_json;
         }
         if (store != nullptr) {
           record.wall_ms = std::chrono::duration<double, std::milli>(

@@ -35,6 +35,12 @@ struct SweepRequest {
   std::map<std::string, std::string> base_params;  // --set fixed values
   std::vector<SweepAxis> axes;                     // --sweep axes
   unsigned threads = 1;
+
+  // Non-empty (--trace-out DIR): ask every point for execution spans and
+  // write each point that produced some as one Chrome/Perfetto JSON file,
+  // DIR/<scenario>_p<index>.trace.json. Points satisfied from the
+  // campaign store are not re-run, so they emit no trace file.
+  std::string trace_out;
 };
 
 // One sweep point's outcome. `params` holds the full parameter set of the

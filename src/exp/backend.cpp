@@ -18,13 +18,15 @@ class AnalyticBackend final : public ExecutionBackend {
     return Fidelity::kAnalytic;
   }
 
-  core::SystemTiming run(const core::TimingOptions& options) override {
+  core::SystemTiming run(const core::TimingOptions& options,
+                         obs::RunObservation* /*observation*/) override {
     return model_.run(options);
   }
 
   core::SystemTiming run_layers(
       const std::vector<sa::TileShape>& layers,
-      const core::TimingOptions& options) override {
+      const core::TimingOptions& options,
+      obs::RunObservation* /*observation*/) override {
     return model_.run_layers(layers, options);
   }
 
@@ -41,13 +43,15 @@ class DetailedBackend final : public ExecutionBackend {
     return Fidelity::kDetailed;
   }
 
-  core::SystemTiming run(const core::TimingOptions& options) override {
-    return core::run_detailed_gemm(config_, options);
+  core::SystemTiming run(const core::TimingOptions& options,
+                         obs::RunObservation* observation) override {
+    return core::run_detailed_gemm(config_, options, observation);
   }
 
   core::SystemTiming run_layers(
       const std::vector<sa::TileShape>& layers,
-      const core::TimingOptions& options) override {
+      const core::TimingOptions& options,
+      obs::RunObservation* observation) override {
     // Layers execute back to back. Per-node spans/work and translation
     // stats accumulate over the whole sequence (translation weighted by
     // each layer's makespan), so the aggregate SystemTiming is internally
@@ -63,8 +67,21 @@ class DetailedBackend final : public ExecutionBackend {
     double stall_weighted = 0.0;
     for (const sa::TileShape& layer : layers) {
       layer_options.shape = layer;
+      obs::RunObservation layer_observation;
+      obs::RunObservation* layer_obs_ptr = nullptr;
+      if (observation != nullptr) {
+        layer_observation.want_counters = observation->want_counters;
+        layer_observation.want_trace = observation->want_trace;
+        layer_obs_ptr = &layer_observation;
+      }
       const core::SystemTiming timing =
-          core::run_detailed_gemm(config_, layer_options);
+          core::run_detailed_gemm(config_, layer_options, layer_obs_ptr);
+      if (observation != nullptr) {
+        // Shift this layer's spans past the layers already accumulated so
+        // the merged trace shows the back-to-back sequence.
+        observation->merge(layer_observation,
+                           static_cast<sim::TimePs>(total_ps));
+      }
       if (result.nodes.empty()) result.nodes.resize(timing.nodes.size());
       for (std::size_t i = 0; i < timing.nodes.size(); ++i) {
         result.nodes[i].span_ps += timing.nodes[i].span_ps;
@@ -125,13 +142,15 @@ class SampledBackend final : public ExecutionBackend {
     return Fidelity::kSampled;
   }
 
-  core::SystemTiming run(const core::TimingOptions& options) override {
+  core::SystemTiming run(const core::TimingOptions& options,
+                         obs::RunObservation* /*observation*/) override {
     return sampling::run_sampled_gemm(config_, options);
   }
 
   core::SystemTiming run_layers(
       const std::vector<sa::TileShape>& layers,
-      const core::TimingOptions& options) override {
+      const core::TimingOptions& options,
+      obs::RunObservation* /*observation*/) override {
     return sampling::run_sampled_layers(config_, layers, options);
   }
 

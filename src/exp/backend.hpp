@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/timing_model.hpp"
+#include "obs/observation.hpp"
 
 namespace maco::exp {
 
@@ -34,12 +35,21 @@ class ExecutionBackend {
   virtual Fidelity fidelity() const noexcept = 0;
 
   // One GEMM (options.shape) under the scenario's execution options.
-  virtual core::SystemTiming run(const core::TimingOptions& options) = 0;
+  // A non-null `observation` asks the backend to capture counters/spans
+  // per its want_* flags; only the detailed backend records anything (the
+  // analytic and sampled rungs have no machine to observe), and capture
+  // never changes the returned timing.
+  virtual core::SystemTiming run(const core::TimingOptions& options,
+                                 obs::RunObservation* observation =
+                                     nullptr) = 0;
 
-  // A layer sequence (a DNN / HPL trailing updates) back to back.
+  // A layer sequence (a DNN / HPL trailing updates) back to back; layer
+  // observations fold into `observation` with spans offset so the trace
+  // reads as one run.
   virtual core::SystemTiming run_layers(
       const std::vector<sa::TileShape>& layers,
-      const core::TimingOptions& options) = 0;
+      const core::TimingOptions& options,
+      obs::RunObservation* observation = nullptr) = 0;
 };
 
 std::unique_ptr<ExecutionBackend> make_backend(

@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <cstddef>
-#include <cstdio>
 #include <sstream>
 #include <string_view>
+
+#include "util/json.hpp"
 
 namespace maco::exp {
 
@@ -52,25 +53,7 @@ std::string format_metric_value(double value) {
 }
 
 std::string json_escape(const std::string& text) {
-  std::string escaped;
-  escaped.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"': escaped += "\\\""; break;
-      case '\\': escaped += "\\\\"; break;
-      case '\n': escaped += "\\n"; break;
-      case '\t': escaped += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          escaped += buf;
-        } else {
-          escaped += c;
-        }
-    }
-  }
-  return escaped;
+  return util::json_escape(text);
 }
 
 }  // namespace maco::exp

@@ -29,6 +29,12 @@ bool lower_is_better_metric_name(std::string_view name) noexcept;
 struct ScenarioResult {
   std::vector<Metric> metrics;
 
+  // Chrome/Perfetto trace JSON for this run; empty unless the caller asked
+  // for a trace (ScenarioRequest::collect_trace) AND the scenario produced
+  // spans. The sweep runner writes it to <trace_out>/<point>.trace.json —
+  // it never flows into CSV/JSON metric tables or the campaign store.
+  std::string trace_json;
+
   // Direction inferred from the name (see lower_is_better_metric_name).
   void add(std::string name, double value, std::string unit = {}) {
     const bool higher = !lower_is_better_metric_name(name);

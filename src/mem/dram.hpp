@@ -81,6 +81,8 @@ class DramModel {
   const DramConfig& config() const noexcept { return config_; }
   std::uint64_t bytes_transferred() const noexcept { return bytes_; }
   std::uint64_t requests() const noexcept { return requests_; }
+  // Absolute data-bus busy time this window (utilization's numerator).
+  std::uint64_t busy_ps() const noexcept { return busy_ps_; }
 
   // Fraction of the observation window the data bus was busy. The window
   // opens at construction and reopens at each reset_stats(now); dividing

@@ -67,6 +67,19 @@ IcntModel::IcntModel(const IcntConfig& config) : config_(config) {
 
 IcntModel::~IcntModel() = default;
 
+void IcntModel::enable_link_stats() {
+  link_stats_.assign(
+      static_cast<std::size_t>(config_.width) * config_.height * 5,
+      LinkTraffic{});
+}
+
+void IcntModel::record_link_traffic(unsigned link, std::uint64_t flits,
+                                    sim::TimePs busy_ps) const {
+  LinkTraffic& stat = link_stats_[link];
+  stat.flits += flits;
+  stat.busy_ps += busy_ps;
+}
+
 unsigned IcntModel::hop_count(unsigned src, unsigned dst) const noexcept {
   const unsigned sx = src % config_.width;
   const unsigned sy = src / config_.width;
@@ -93,6 +106,20 @@ sim::TimePs AnalyticIcnt::request_leg_ps(sim::TimePs /*now*/, int /*node*/,
 
 sim::TimePs AnalyticIcnt::response_leg_ps(sim::TimePs /*now*/, unsigned home,
                                           int node, std::uint32_t bytes) {
+  if (link_stats_enabled()) {
+    // The closed form has no per-link booking, so account the transfer's
+    // route here: a header-flit request out, the payload wormhole back,
+    // each link charged one hop time.
+    const auto src = static_cast<unsigned>(node);
+    const auto payload_flits = static_cast<std::uint64_t>(util::ceil_div(
+        bytes + config_.header_bytes, config_.flit_bytes));
+    for_each_link(config_.width, src, home, [&](unsigned link) {
+      record_link_traffic(link, 1, config_.hop_ps);
+    });
+    for_each_link(config_.width, home, src, [&](unsigned link) {
+      record_link_traffic(link, payload_flits, config_.hop_ps);
+    });
+  }
   return unloaded_round_trip_ps(node, home, bytes);
 }
 
@@ -123,6 +150,10 @@ sim::TimePs FlitIcnt::traverse(sim::TimePs start, unsigned src, unsigned dst,
       enter = std::max(enter, (*link_free)[link]);
       (*link_free)[link] =
           enter + static_cast<sim::TimePs>(flits) * config_.cycle_ps;
+      if (link_stats_enabled()) {
+        record_link_traffic(
+            link, flits, static_cast<sim::TimePs>(flits) * config_.cycle_ps);
+      }
     }
     head = enter + config_.cycle_ps;
   });

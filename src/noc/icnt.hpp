@@ -73,8 +73,31 @@ class IcntModel {
 
   const IcntConfig& config() const noexcept { return config_; }
 
+  // ---- optional per-link traffic accounting (profile=counters) ----
+  //
+  // Off by default so the hot transfer path pays nothing; when enabled,
+  // every loaded leg adds its flit count and occupancy time to each
+  // directed link it crosses (link index = node*5 + direction, ejection
+  // first — the LinkLoadModel link set). Accounting only: recorded
+  // traffic never feeds back into the latencies the legs return.
+  struct LinkTraffic {
+    std::uint64_t flits = 0;
+    sim::TimePs busy_ps = 0;
+  };
+  void enable_link_stats();
+  bool link_stats_enabled() const noexcept { return !link_stats_.empty(); }
+  const std::vector<LinkTraffic>& link_stats() const noexcept {
+    return link_stats_;
+  }
+
  protected:
+  void record_link_traffic(unsigned link, std::uint64_t flits,
+                           sim::TimePs busy_ps) const;
+
   IcntConfig config_;
+  // mutable: legs that book occupancy are the recording sites, and the
+  // shared traversal helper is const for the unloaded-estimate path.
+  mutable std::vector<LinkTraffic> link_stats_;
 };
 
 // `icnt=analytic`: two X-Y traversals at one hop per cycle plus an

@@ -1,0 +1,37 @@
+#include "obs/host_profile.hpp"
+
+namespace maco::obs {
+namespace {
+
+thread_local HostPhaseProfile* g_active_profile = nullptr;
+
+}  // namespace
+
+double HostPhaseProfile::ms(const std::string& phase) const noexcept {
+  const auto it = phases_.find(phase);
+  return it == phases_.end() ? 0.0 : it->second;
+}
+
+ScopedHostProfile::ScopedHostProfile(HostPhaseProfile* profile)
+    : previous_(g_active_profile) {
+  g_active_profile = profile;
+}
+
+ScopedHostProfile::~ScopedHostProfile() { g_active_profile = previous_; }
+
+ScopedPhase::ScopedPhase(const char* phase)
+    : phase_(phase), sink_(g_active_profile) {
+  if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase() { stop(); }
+
+void ScopedPhase::stop() {
+  if (sink_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  sink_->add(phase_,
+             std::chrono::duration<double, std::milli>(elapsed).count());
+  sink_ = nullptr;
+}
+
+}  // namespace maco::obs

@@ -1,0 +1,61 @@
+// Host self-profiling: wall-time phase timers for one sweep point.
+//
+// The sweep runner installs a thread-local HostPhaseProfile sink around a
+// scenario run; the detailed runner and the serve cost oracle bracket
+// their setup/sim/collect phases with ScopedPhase. When no sink is
+// installed (profile=off, every non-driver caller) ScopedPhase is a
+// no-op: it never reads the clock, so the default path pays nothing.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace maco::obs {
+
+class HostPhaseProfile {
+ public:
+  void add(const std::string& phase, double ms) { phases_[phase] += ms; }
+  // 0.0 when the phase never ran.
+  double ms(const std::string& phase) const noexcept;
+  const std::map<std::string, double>& phases() const noexcept {
+    return phases_;
+  }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+// Installs `profile` as this thread's phase sink for the guard's lifetime
+// and restores the previous sink on destruction.
+class ScopedHostProfile {
+ public:
+  explicit ScopedHostProfile(HostPhaseProfile* profile);
+  ~ScopedHostProfile();
+  ScopedHostProfile(const ScopedHostProfile&) = delete;
+  ScopedHostProfile& operator=(const ScopedHostProfile&) = delete;
+
+ private:
+  HostPhaseProfile* previous_;
+};
+
+// Accumulates the guarded region's wall time into the installed sink
+// under `phase` ("setup", "sim", "collect"); no-op without a sink.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* phase);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  // Records the elapsed time now and disarms the destructor — for phases
+  // that end mid-scope (the next phase starts in the same block).
+  void stop();
+
+ private:
+  const char* phase_;
+  HostPhaseProfile* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace maco::obs

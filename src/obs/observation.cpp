@@ -1,0 +1,29 @@
+#include "obs/observation.hpp"
+
+namespace maco::obs {
+
+void RunObservation::merge(const RunObservation& other,
+                           sim::TimePs span_offset_ps) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const SpanRec& span : other.spans) {
+    spans.push_back(SpanRec{span.track, span.name,
+                            span.start + span_offset_ps,
+                            span.end + span_offset_ps});
+  }
+  if (other.noc.present()) {
+    if (!noc.present()) {
+      noc.width = other.noc.width;
+      noc.height = other.noc.height;
+      noc.links.resize(other.noc.links.size());
+    }
+    if (noc.links.size() == other.noc.links.size()) {
+      for (std::size_t i = 0; i < noc.links.size(); ++i) {
+        noc.links[i].flits += other.noc.links[i].flits;
+        noc.links[i].busy_ps += other.noc.links[i].busy_ps;
+      }
+    }
+    noc.window_ps += other.noc.window_ps;
+  }
+}
+
+}  // namespace maco::obs

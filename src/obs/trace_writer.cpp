@@ -1,0 +1,47 @@
+#include "obs/trace_writer.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace maco::obs {
+
+std::string to_perfetto_json(const RunObservation& observation) {
+  std::ostringstream out;
+  out.precision(15);  // keep full ps resolution through the us timestamps
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRec& span : observation.spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << util::json_escape(span.name)
+        << "\", \"cat\": \"maco\", \"ph\": \"X\", \"pid\": 0, \"tid\": \""
+        << util::json_escape(span.track)
+        << "\", \"ts\": " << static_cast<double>(span.start) / 1e6
+        << ", \"dur\": " << static_cast<double>(span.end - span.start) / 1e6
+        << "}";
+  }
+  out << "\n]";
+  if (observation.noc.present()) {
+    out << ",\n\"maco\": {\"noc\": {\"width\": " << observation.noc.width
+        << ", \"height\": " << observation.noc.height
+        << ", \"window_ps\": " << observation.noc.window_ps
+        << ", \"links\": [";
+    bool first_link = true;
+    for (std::size_t i = 0; i < observation.noc.links.size(); ++i) {
+      const LinkTrafficRec& link = observation.noc.links[i];
+      if (link.flits == 0) continue;
+      if (!first_link) out << ",";
+      first_link = false;
+      out << "\n  {\"node\": " << i / kLinksPerNode << ", \"dir\": \""
+          << kLinkDirNames[i % kLinksPerNode]
+          << "\", \"flits\": " << link.flits
+          << ", \"busy_ps\": " << link.busy_ps << "}";
+    }
+    out << "\n]}}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace maco::obs

@@ -1,0 +1,21 @@
+// Chrome/Perfetto trace serialization for RunObservations.
+//
+// Emits the JSON object form of the Trace Event Format: spans become
+// complete ("X") events with ts/dur in microseconds and the track string
+// as tid, which chrome://tracing and Perfetto both render as one row per
+// track. The observation's NoC traffic rides along under a top-level
+// "maco" key — foreign keys are explicitly allowed by the format and
+// ignored by the viewers, and `macosim trace` reads them back for the
+// link-utilization heatmap.
+#pragma once
+
+#include <string>
+
+#include "obs/observation.hpp"
+
+namespace maco::obs {
+
+// One self-contained JSON document; parseable by util::parse_json.
+std::string to_perfetto_json(const RunObservation& observation);
+
+}  // namespace maco::obs

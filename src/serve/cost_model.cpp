@@ -8,6 +8,8 @@
 #include "core/detailed_runner.hpp"
 #include "core/maco_system.hpp"
 #include "core/timing_model.hpp"
+#include "obs/collector.hpp"
+#include "obs/host_profile.hpp"
 
 namespace maco::serve {
 namespace {
@@ -75,6 +77,11 @@ class DetailedCostModel final : public BatchCostModel {
     return &stats_;
   }
 
+  const obs::RunObservation* observation() const noexcept override {
+    return config_.profile == core::ProfileMode::kCounters ? &observation_
+                                                           : nullptr;
+  }
+
  private:
   sim::TimePs measure(unsigned batch) {
     const std::vector<sa::TileShape> layers = model_.layers(batch);
@@ -96,6 +103,7 @@ class DetailedCostModel final : public BatchCostModel {
     // so the scheduler-driven makespan IS the batch cost. All instances
     // co-run as separate processes — the measurement bakes in the
     // multi-process contention a loaded server would see.
+    obs::ScopedPhase setup_phase("setup");
     core::MacoSystem system(config_);
     os::Scheduler::Options sched_options;
     sched_options.nodes = system.node_count();
@@ -117,12 +125,20 @@ class DetailedCostModel final : public BatchCostModel {
       }
     }
 
+    setup_phase.stop();
+    obs::ScopedPhase sim_phase("sim");
     const os::SchedulerStats run_stats = scheduler.run_all();
+    sim_phase.stop();
+    obs::ScopedPhase collect_phase("collect");
     accumulate(run_stats);
     if (run_stats.tasks_failed > 0) {
       throw std::runtime_error(
           "serve fidelity=detailed: batch measurement left " +
           std::to_string(run_stats.tasks_failed) + " task(s) failed");
+    }
+    if (config_.profile == core::ProfileMode::kCounters) {
+      observation_.want_counters = true;
+      obs::collect(system, observation_);
     }
     return system.engine().now();
   }
@@ -141,6 +157,7 @@ class DetailedCostModel final : public BatchCostModel {
   ServeModel model_;
   CostModelOptions options_;
   os::SchedulerStats stats_;
+  obs::RunObservation observation_;  // counters summed over measurements
   std::map<unsigned, sim::TimePs> memo_;
 };
 

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "core/config.hpp"
+#include "obs/observation.hpp"
 #include "os/scheduler.hpp"
 #include "serve/workload.hpp"
 #include "sim/time.hpp"
@@ -42,6 +43,13 @@ class BatchCostModel {
   // Scheduler counters accumulated over every measurement so far; nullptr
   // when the model does not run through os::Scheduler (analytic).
   virtual const os::SchedulerStats* scheduler_stats() const noexcept {
+    return nullptr;
+  }
+
+  // Hardware counters and NoC traffic accumulated over every measurement
+  // so far; nullptr unless the model runs a detailed machine with
+  // config.profile=counters.
+  virtual const obs::RunObservation* observation() const noexcept {
     return nullptr;
   }
 };

@@ -82,6 +82,7 @@ class ServeLoop {
     std::uint64_t seq;  // dispatch order breaks timestamp ties
     Batch batch;
     sim::TimePs exec_start;
+    unsigned instance;  // which model instance ran the batch
     bool operator>(const Completion& other) const noexcept {
       return at != other.at ? at > other.at : seq > other.seq;
     }
@@ -154,12 +155,18 @@ class ServeLoop {
     const sim::TimePs start = std::max(batch.close_ps, slot.first);
     const sim::TimePs done = start + cost_.batch_makespan_ps(batch.size());
     instances_.push({done, slot.second});
-    completions_.push(
-        Completion{done, dispatch_seq_++, std::move(batch), start});
+    completions_.push(Completion{done, dispatch_seq_++, std::move(batch),
+                                 start, slot.second});
   }
 
   void complete(const Completion& completion) {
     ++report_.batches;
+    if (config_.record_trace) {
+      report_.batch_log.push_back(ServeReport::BatchTrace{
+          completion.instance, completion.seq,
+          static_cast<unsigned>(completion.batch.requests.size()),
+          completion.batch.close_ps, completion.exec_start, completion.at});
+    }
     for (const std::uint64_t id : completion.batch.requests) {
       Request& request = records_[id];
       request.batch_close_ps = completion.batch.close_ps;
@@ -230,6 +237,11 @@ class ServeLoop {
     if (const os::SchedulerStats* stats = cost_.scheduler_stats()) {
       report_.scheduler = *stats;
       report_.has_scheduler_stats = true;
+    }
+    if (config_.record_trace) {
+      // Every spawned request has completed by now (the loop drains), so
+      // the records are the full lifecycle log.
+      report_.request_log = std::move(records_);
     }
     return std::move(report_);
   }

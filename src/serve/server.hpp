@@ -40,6 +40,11 @@ struct ServeConfig {
   bool closed_loop = false;
   unsigned concurrency = 8;
   double think_s = 0.0;
+
+  // Keep the per-request and per-batch timestamp logs in the report so a
+  // lifecycle trace can be rendered (--trace-out). Off by default: the
+  // logs are O(requests) memory that million-request streams don't want.
+  bool record_trace = false;
 };
 
 struct TenantReport {
@@ -71,6 +76,22 @@ struct ServeReport {
   // through the detailed machine; all-zero (and flagged absent) otherwise.
   os::SchedulerStats scheduler;
   bool has_scheduler_stats = false;
+
+  // One executed batch (config.record_trace only): which instance ran it
+  // and its seal/start/completion times.
+  struct BatchTrace {
+    unsigned instance = 0;
+    std::uint64_t seq = 0;       // dispatch order
+    unsigned size = 0;           // requests in the batch
+    sim::TimePs close_ps = 0;    // batch sealed
+    sim::TimePs exec_start_ps = 0;
+    sim::TimePs completion_ps = 0;
+  };
+
+  // Trace logs (empty unless config.record_trace): every served request
+  // with its lifecycle timestamps filled in, and every executed batch.
+  std::vector<Request> request_log;
+  std::vector<BatchTrace> batch_log;
 };
 
 // Runs the serve simulation to completion (every admitted request served)

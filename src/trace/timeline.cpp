@@ -6,6 +6,7 @@
 
 #include "isa/encoding.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace maco::trace {
 
@@ -98,8 +99,10 @@ std::string Timeline::to_chrome_json() const {
     if (!first) out << ",";
     first = false;
     // Complete event ("X"): ts/dur in microseconds.
-    out << "\n  {\"name\": \"" << span.name << "\", \"cat\": \"maco\", "
-        << "\"ph\": \"X\", \"pid\": 0, \"tid\": \"" << span.track << "\", "
+    out << "\n  {\"name\": \"" << util::json_escape(span.name)
+        << "\", \"cat\": \"maco\", "
+        << "\"ph\": \"X\", \"pid\": 0, \"tid\": \""
+        << util::json_escape(span.track) << "\", "
         << "\"ts\": " << static_cast<double>(span.start) / 1e6 << ", "
         << "\"dur\": " << static_cast<double>(span.duration()) / 1e6 << "}";
   }

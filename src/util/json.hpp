@@ -6,7 +6,9 @@
 // This parser covers exactly RFC 8259 — objects, arrays, strings with
 // escapes, numbers, true/false/null — with positions in error messages.
 // It deliberately has no writer half: serialization stays with the code
-// that owns each format, so there is exactly one writer per format.
+// that owns each format, so there is exactly one writer per format. The
+// one shared piece is json_escape below, because string escaping must be
+// identical in every writer for this parser to read them all back.
 #pragma once
 
 #include <cstddef>
@@ -66,5 +68,9 @@ class JsonValue {
 // content is not. Throws std::runtime_error with a byte offset on
 // malformed input.
 JsonValue parse_json(std::string_view text);
+
+// JSON string-body escaping (quotes, backslash, control characters);
+// shared by every JSON writer in the tree.
+std::string json_escape(const std::string& text);
 
 }  // namespace maco::util

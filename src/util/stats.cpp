@@ -75,6 +75,13 @@ Scalar& StatRegistry::scalar(const std::string& name) {
   return scalars_[name];
 }
 
+Histogram& StatRegistry::histogram(const std::string& name, double lo,
+                                   double hi, std::size_t buckets) {
+  const auto [it, inserted] = histograms_.try_emplace(name, lo, hi, buckets);
+  (void)inserted;
+  return it->second;
+}
+
 void StatRegistry::report(std::ostream& os) const {
   for (const auto& [name, c] : counters_) {
     os << name << ' ' << c.value() << '\n';
@@ -83,11 +90,18 @@ void StatRegistry::report(std::ostream& os) const {
     os << name << " count=" << s.count() << " mean=" << s.mean()
        << " min=" << s.min() << " max=" << s.max() << '\n';
   }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h.count() << " mean=" << h.mean()
+       << " min=" << h.min() << " max=" << h.max()
+       << " p50=" << h.percentile(0.50) << " p95=" << h.percentile(0.95)
+       << '\n';
+  }
 }
 
 void StatRegistry::reset_all() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, s] : scalars_) s.reset();
+  for (auto& [name, h] : histograms_) h.reset();
 }
 
 }  // namespace maco::util

@@ -69,6 +69,21 @@ class StatRegistry {
  public:
   Counter& counter(const std::string& name);
   Scalar& scalar(const std::string& name);
+  // First call creates the histogram with the given shape; later calls
+  // return the existing one and ignore the shape arguments.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+
+  // Read-only views for collectors that roll stats up into metrics.
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Scalar>& scalars() const noexcept {
+    return scalars_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
 
   // Dumps "name value" lines sorted by name.
   void report(std::ostream& os) const;
@@ -77,6 +92,7 @@ class StatRegistry {
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Scalar> scalars_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace maco::util

@@ -161,6 +161,25 @@ TEST(Histogram, OutOfRangeSamplesLandInOverflowBins) {
   EXPECT_EQ(h.buckets().back(), 1u);   // overflow
 }
 
+TEST(StatRegistryMore, HistogramsRegisterOnceAndReport) {
+  StatRegistry registry;
+  Histogram& occupancy =
+      registry.histogram("noc.link_occupancy", 0.0, 1.0, 20);
+  occupancy.record(0.25);
+  occupancy.record(0.75);
+  // A later call with a different shape returns the existing histogram.
+  Histogram& again = registry.histogram("noc.link_occupancy", 0.0, 5.0, 3);
+  EXPECT_EQ(&occupancy, &again);
+  EXPECT_EQ(again.count(), 2u);
+  ASSERT_EQ(registry.histograms().count("noc.link_occupancy"), 1u);
+
+  std::ostringstream oss;
+  registry.report(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("noc.link_occupancy count=2"), std::string::npos);
+  EXPECT_NE(out.find("p95="), std::string::npos);
+}
+
 TEST(StatRegistryMore, NamesAreStableAndShared) {
   StatRegistry registry;
   registry.counter("node0.mmae.tasks").inc(3);
