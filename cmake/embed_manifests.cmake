@@ -1,0 +1,32 @@
+# Generates builtin_manifests.inc from examples/models/*.json.
+#
+# Invoked at build time (see src/CMakeLists.txt) with:
+#   -DFILES=<comma-separated manifest paths>  -DOUT=<generated .inc>
+# Each manifest becomes one {name, json} entry (name = the file stem) in
+# the table graph/builtin_models.cpp compiles in, so the builtin catalogue
+# and the shipped files are the same bytes by construction.
+if(NOT DEFINED FILES OR NOT DEFINED OUT)
+  message(FATAL_ERROR "embed_manifests.cmake needs -DFILES=... -DOUT=...")
+endif()
+
+string(REPLACE "," ";" manifest_files "${FILES}")
+set(content "// Generated from examples/models/*.json by\n")
+string(APPEND content "// cmake/embed_manifests.cmake - do not edit.\n")
+foreach(file ${manifest_files})
+  get_filename_component(stem "${file}" NAME_WE)
+  file(READ "${file}" text)
+  if(text MATCHES "\\)maco_manifest\"")
+    message(FATAL_ERROR "${file} contains the raw-string delimiter")
+  endif()
+  string(APPEND content
+         "{\"${stem}\", R\"maco_manifest(${text})maco_manifest\"},\n")
+endforeach()
+
+# Write-if-changed keeps incremental builds quiet.
+set(existing "")
+if(EXISTS "${OUT}")
+  file(READ "${OUT}" existing)
+endif()
+if(NOT existing STREQUAL content)
+  file(WRITE "${OUT}" "${content}")
+endif()

@@ -303,12 +303,97 @@ CliParse parse_trace_cli(const std::vector<std::string>& args) {
   return result;
 }
 
+// `macosim graph validate|show FILE`: schema-check a model manifest and
+// (show) print its lowered layer table without running any simulation.
+CliParse parse_graph_cli(const std::vector<std::string>& args) {
+  CliParse result;
+  CliOptions& options = result.options;
+
+  if (args.size() < 2 ||
+      (args[1] != "validate" && args[1] != "show" && args[1] != "--help" &&
+       args[1] != "-h")) {
+    result.error = "graph wants a subcommand: macosim graph validate FILE, "
+                   "or macosim graph show FILE [--batch N] [--seq-len N] "
+                   "[--phase prefill|decode] [--moe-top-k N]";
+    return result;
+  }
+  if (args[1] == "--help" || args[1] == "-h") {
+    options.command = CliCommand::kGraphValidate;
+    options.show_help = true;
+    result.ok = true;
+    return result;
+  }
+  const bool show = args[1] == "show";
+  options.command =
+      show ? CliCommand::kGraphShow : CliCommand::kGraphValidate;
+  const std::string subcommand = "graph " + args[1];
+
+  const auto value_of = [&](std::size_t& i, std::string& out) {
+    if (i + 1 >= args.size()) {
+      result.error = "missing value after " + args[i];
+      return false;
+    }
+    out = args[++i];
+    return true;
+  };
+  const auto unsigned_of = [&](std::size_t& i, unsigned& out) {
+    std::string value;
+    if (!value_of(i, value)) return false;
+    if (!parse_unsigned(value, out)) {
+      result.error = args[i - 1] + " wants a non-negative integer, got '" +
+                     value + "'";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (show && arg == "--batch") {
+      if (!unsigned_of(i, options.graph_batch)) return result;
+    } else if (show && arg == "--seq-len") {
+      if (!unsigned_of(i, options.graph_seq_len)) return result;
+    } else if (show && arg == "--moe-top-k") {
+      if (!unsigned_of(i, options.graph_moe_top_k)) return result;
+    } else if (show && arg == "--phase") {
+      if (!value_of(i, value)) return result;
+      if (value != "prefill" && value != "decode") {
+        result.error = "--phase wants prefill or decode, got '" + value +
+                       "'";
+        return result;
+      }
+      options.graph_phase = value;
+    } else if (arg == "--output" || arg == "-o") {
+      if (!value_of(i, value)) return result;
+      options.output_path = value;
+    } else if (options.graph_file.empty() && !arg.empty() &&
+               arg[0] != '-') {
+      options.graph_file = arg;
+    } else {
+      result.error = "unknown " + subcommand + " argument '" + arg +
+                     "' (see macosim graph --help)";
+      return result;
+    }
+  }
+  if (!options.show_help && options.graph_file.empty()) {
+    result.error = subcommand + " needs a manifest: macosim " + subcommand +
+                   " FILE";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 CliParse parse_cli(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "report") return parse_report_cli(args);
   if (!args.empty() && args[0] == "store") return parse_store_cli(args);
   if (!args.empty() && args[0] == "trace") return parse_trace_cli(args);
+  if (!args.empty() && args[0] == "graph") return parse_graph_cli(args);
 
   CliParse result;
   CliOptions& options = result.options;
@@ -469,6 +554,10 @@ std::string usage() {
          "       macosim store import FILE.json --store FILE\n"
          "       macosim trace FILE.trace.json [--width N] "
          "[--noc-csv FILE]\n"
+         "       macosim graph validate FILE\n"
+         "       macosim graph show FILE [--batch N] [--seq-len N]\n"
+         "                              [--phase prefill|decode] "
+         "[--moe-top-k N]\n"
          "\n"
          "options:\n"
          "  --scenario NAME        scenario to run (see --list-scenarios)\n"
@@ -530,6 +619,20 @@ std::string usage() {
          "  --width N              Gantt chart columns (default 72)\n"
          "  --noc-csv FILE         also dump per-link utilization CSV\n"
          "  --output FILE          write the rendering to FILE\n"
+         "\n"
+         "model graphs (docs/GRAPHS.md):\n"
+         "  macosim graph validate FILE\n"
+         "                         schema-check a model manifest (shapes,\n"
+         "                         edges, attrs, acyclicity); exit 0 when\n"
+         "                         it loads, 2 with a diagnostic when not\n"
+         "  macosim graph show FILE\n"
+         "                         print the lowered GEMM layer table and\n"
+         "                         per-op FLOP/byte contributions without\n"
+         "                         running anything; --batch/--seq-len/\n"
+         "                         --phase/--moe-top-k override manifest\n"
+         "                         defaults (run manifests for real with\n"
+         "                         --scenario graph --set model_file=FILE)\n"
+         "  --output FILE          write the summary/table to FILE\n"
          "\n"
          "Parameters are scenario knobs (e.g. size, precision, nodes,\n"
          "fidelity) or hardware config knobs (e.g. node_count, sa_rows,\n"

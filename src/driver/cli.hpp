@@ -12,6 +12,8 @@
 //   macosim report --store new.mdb --compare baseline.mdb --tolerance 0.05
 //   macosim store compact --store campaign.mdb
 //   macosim store import BENCH_dram.json --store baseline.mdb
+//   macosim graph validate examples/models/bert-block.json
+//   macosim graph show examples/models/gpt3-block.json --phase decode
 //
 // Parsing is pure (no I/O, no exit()) so tests can drive it directly.
 #pragma once
@@ -35,6 +37,8 @@ enum class CliCommand {
   kStoreCompact,  // rewrite a store keeping the latest record per point
   kStoreImport,   // load sweep-runner JSON (e.g. BENCH_*.json) into a store
   kTrace,         // render a --trace-out JSON as ASCII Gantt + NoC heatmap
+  kGraphValidate,  // schema-check a model manifest, print a summary
+  kGraphShow,      // print a manifest's lowered layer table (no run)
 };
 
 struct CliOptions {
@@ -58,6 +62,14 @@ struct CliOptions {
   std::string trace_path;     // the .trace.json to render
   unsigned trace_width = 72;  // --width: Gantt columns
   std::string noc_csv_path;   // --noc-csv FILE: per-link utilization CSV
+
+  // `graph validate|show` only: the manifest plus lowering overrides
+  // (0 = the manifest's own defaults; see graph::LoweringOptions).
+  std::string graph_file;
+  unsigned graph_batch = 0;      // --batch
+  unsigned graph_seq_len = 0;    // --seq-len
+  std::string graph_phase = "prefill";  // --phase prefill|decode
+  unsigned graph_moe_top_k = 0;  // --moe-top-k
 
   // `report` only:
   std::string compare_path;                   // --compare OTHER_STORE

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "driver/cli.hpp"
+#include "driver/graph_cmd.hpp"
 #include "driver/hardware_knobs.hpp"
 #include "driver/scenario_registry.hpp"
 #include "driver/store_import.hpp"
@@ -20,6 +21,7 @@
 #include "driver/trace_cmd.hpp"
 #include "store/campaign_store.hpp"
 #include "store/query.hpp"
+#include "util/file.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -42,8 +44,8 @@ std::string describe_param(const exp::ParamDecl& decl) {
 }
 
 void list_scenarios(const driver::ScenarioRegistry& registry) {
-  util::Table t({"Scenario", "Parameters (name:type=default range)",
-                 "Description"});
+  util::Table t({"Scenario", "Fidelities",
+                 "Parameters (name:type=default range)", "Description"});
   for (const driver::Scenario& scenario : registry.scenarios()) {
     std::ostringstream params;
     bool first = true;
@@ -63,8 +65,11 @@ void list_scenarios(const driver::ScenarioRegistry& registry) {
       params << "[" << rule.rule << "]";
       first = false;
     }
-    t.row().cell(scenario.name).cell(params.str()).cell(
-        scenario.description);
+    t.row()
+        .cell(scenario.name)
+        .cell(driver::fidelity_summary(scenario))
+        .cell(params.str())
+        .cell(scenario.description);
   }
   t.print(std::cout, "macosim scenarios");
 
@@ -81,10 +86,15 @@ void print_results(const driver::SweepResults& results) {
                           ? column.name
                           : column.name + " [" + column.unit + "]");
   }
-  if (headers.empty()) headers.push_back("(no columns)");
+  // A sweep whose every point failed before producing metrics (e.g. a
+  // default-violating constraint with nothing --set) has no real
+  // columns; keep one status column so rows stay printable.
+  const bool status_only = headers.empty();
+  if (status_only) headers.push_back("status");
   util::Table t(headers);
   for (const driver::SweepRow& row : results.rows) {
     auto out = t.row();
+    if (status_only) out.cell(row.ok() ? "ok" : "ERROR");
     for (const std::string& column : results.param_columns) {
       const auto it = row.params.find(column);
       out.cell(it == row.params.end() ? "" : it->second);
@@ -247,19 +257,19 @@ int run_store_compact(const driver::CliOptions& options) {
 // (e.g. a committed BENCH_*.json trajectory). Exit codes: 0 ok, 2
 // usage/IO/validation error.
 int run_store_import(const driver::CliOptions& options) {
-  std::ifstream in(options.import_path, std::ios::binary);
-  if (!in) {
-    std::cerr << "macosim: cannot read " << options.import_path << "\n";
+  std::string text;
+  try {
+    text = util::read_text_file(options.import_path);
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
     return 2;
   }
-  std::ostringstream text;
-  text << in.rdbuf();
   try {
     const driver::ScenarioRegistry registry =
         driver::ScenarioRegistry::builtin();
     store::CampaignStore store(options.store_path);
     const driver::ImportSummary summary =
-        driver::import_sweep_json(registry, text.str(), store);
+        driver::import_sweep_json(registry, text, store);
     if (!options.quiet) {
       std::cout << "store '" << options.store_path << "': imported "
                 << summary.imported << " point(s) from "
@@ -282,16 +292,16 @@ int run_store_import(const driver::CliOptions& options) {
 // The `trace` subcommand: render a --trace-out JSON as ASCII Gantt plus
 // the NoC heatmap when present. Exit codes: 0 ok, 2 usage/IO error.
 int run_trace(const driver::CliOptions& options) {
-  std::ifstream in(options.trace_path, std::ios::binary);
-  if (!in) {
-    std::cerr << "macosim: cannot read " << options.trace_path << "\n";
+  std::string text;
+  try {
+    text = util::read_text_file(options.trace_path);
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
     return 2;
   }
-  std::ostringstream text;
-  text << in.rdbuf();
   driver::TraceRender render;
   try {
-    render = driver::render_trace(text.str(), options.trace_width);
+    render = driver::render_trace(text, options.trace_width);
   } catch (const std::exception& error) {
     std::cerr << "macosim: " << options.trace_path << ": " << error.what()
               << "\n";
@@ -321,6 +331,34 @@ int run_trace(const driver::CliOptions& options) {
   return 0;
 }
 
+// The `graph validate|show` subcommands: schema-check a model manifest
+// and (show) print the lowered layer table, no simulation. Exit codes:
+// 0 ok, 2 usage/IO/validation error.
+int run_graph(const driver::CliOptions& options) {
+  std::string rendered;
+  try {
+    if (options.command == driver::CliCommand::kGraphValidate) {
+      rendered = driver::validate_manifest(options.graph_file) + "\n";
+    } else {
+      graph::LoweringOptions lowering;
+      lowering.batch = options.graph_batch;
+      lowering.seq_len = options.graph_seq_len;
+      lowering.phase = graph::parse_phase(options.graph_phase);
+      lowering.moe_top_k = options.graph_moe_top_k;
+      rendered = driver::show_manifest(options.graph_file, lowering);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "macosim: " << error.what() << "\n";
+    return 2;
+  }
+  std::ofstream file;
+  const bool to_file =
+      !options.output_path.empty() && options.output_path != "-";
+  if (to_file && !open_output(options.output_path, file)) return 2;
+  (to_file ? static_cast<std::ostream&>(file) : std::cout) << rendered;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -346,6 +384,10 @@ int main(int argc, char** argv) {
   }
   if (options.command == driver::CliCommand::kTrace) {
     return run_trace(options);
+  }
+  if (options.command == driver::CliCommand::kGraphValidate ||
+      options.command == driver::CliCommand::kGraphShow) {
+    return run_graph(options);
   }
 
   const driver::ScenarioRegistry registry =

@@ -14,6 +14,8 @@
 #include "baselines/comparison.hpp"
 #include "core/detailed_runner.hpp"
 #include "core/timing_model.hpp"
+#include "graph/builtin_models.hpp"
+#include "graph/lowering.hpp"
 #include "mem/cache.hpp"
 #include "mem/queued_dram.hpp"
 #include "model/area_power.hpp"
@@ -22,6 +24,7 @@
 #include "obs/trace_writer.hpp"
 #include "sa/sparse.hpp"
 #include "serve/server.hpp"
+#include "util/file.hpp"
 #include "workloads/dnn_models.hpp"
 #include "workloads/gemm_workload.hpp"
 #include "workloads/hpl.hpp"
@@ -976,15 +979,9 @@ Scenario serve_scenario() {
       config.concurrency = static_cast<unsigned>(p.u64("concurrency"));
       config.think_s = p.f64("think_ms") / 1e3;
     } else if (arrival == "trace") {
-      std::ifstream in(p.str("trace_file"));
-      if (!in) {
-        throw std::invalid_argument("cannot open trace_file '" +
-                                    p.str("trace_file") + "'");
-      }
-      std::ostringstream text;
-      text << in.rdbuf();
       config.arrival.kind = serve::ArrivalKind::kTrace;
-      config.arrival.trace = serve::parse_trace(text.str());
+      config.arrival.trace =
+          serve::parse_trace(util::read_text_file(p.str("trace_file")));
     } else {
       config.arrival.kind = serve::parse_arrival_kind(arrival);
     }
@@ -1081,7 +1078,104 @@ Scenario serve_scenario() {
   return s;
 }
 
+// `model_file` accepts either a path to a manifest JSON or the name of an
+// embedded builtin (the examples/models/ file stems), so the scenario
+// works without a source checkout.
+graph::ModelGraph load_graph_model(const std::string& spec) {
+  for (const graph::BuiltinManifest& builtin : graph::builtin_manifests()) {
+    if (spec == builtin.name) return graph::parse_model_graph(builtin.json);
+  }
+  return graph::load_model_graph(spec);
+}
+
+Scenario graph_scenario() {
+  Scenario s;
+  s.name = "graph";
+  s.description =
+      "lower a model-manifest DNN graph (docs/GRAPHS.md) onto the machine";
+  s.schema = timing_schema("fp32", /*default_cooperative=*/true,
+                           {"analytic", "detailed", "sampled"});
+  s.schema.str("model_file", "",
+               "manifest path, or a builtin name (tiny|resnet50-stage|"
+               "bert-block|gpt3-block|moe-mlp)");
+  s.schema.u64("batch", 0, "batch size (0 = manifest default)", 0, 4096);
+  s.schema.u64("seq_len", 0, "sequence length (0 = manifest default)", 0,
+               65536);
+  s.schema.enumerant("phase", "prefill", {"prefill", "decode"},
+                     "prefill: M scales with batch*seq_len; decode: one "
+                     "token per sequence (M = batch)");
+  s.schema.u64("moe_top_k", 0,
+               "experts activated per token (0 = the op's attr, itself "
+               "defaulting to 2)", 0, 64);
+  s.schema.constrain("model_file must be set",
+                     [](const exp::ParamSet& p) {
+                       return !p.str("model_file").empty();
+                     });
+  s.cross_rules.push_back(nodes_fit_hardware_rule());
+  s.cross_rules.push_back(backends_need_detail_rule());
+  s.cross_rules.push_back(profile_needs_detailed_rule());
+  s.run = [](const ScenarioRequest& request) {
+    const exp::ParamSet& p = request.params;
+    const graph::ModelGraph model = load_graph_model(p.str("model_file"));
+    graph::LoweringOptions lowering;
+    lowering.batch = p.u64("batch");
+    lowering.seq_len = p.u64("seq_len");
+    lowering.phase = graph::parse_phase(p.str("phase"));
+    lowering.moe_top_k = p.u64("moe_top_k");
+    const graph::LoweredModel lowered = graph::lower(model, lowering);
+
+    core::TimingOptions options = timing_options_from(request);
+    // The manifest's precision wins unless the knob was set explicitly
+    // (the schema default would otherwise override fp16 manifests).
+    if (!p.was_set("precision")) {
+      options.precision = lowered.workload.precision;
+    }
+    const auto backend = request.backend();
+    obs::RunObservation observation;
+    observation.want_counters =
+        request.config.profile == core::ProfileMode::kCounters;
+    observation.want_trace = request.collect_trace;
+    const bool observe =
+        observation.want_counters || observation.want_trace;
+    const core::SystemTiming timing = backend->run_layers(
+        lowered.workload.expanded_shapes(), options,
+        observe ? &observation : nullptr);
+
+    ScenarioResult result;
+    result.add("batch", static_cast<double>(lowered.batch));
+    result.add("seq_len", static_cast<double>(lowered.seq_len));
+    result.add("tokens", static_cast<double>(lowered.tokens));
+    result.add("graph_ops", static_cast<double>(model.ops.size()));
+    result.add("lowered_layers",
+               static_cast<double>(lowered.workload.layers.size()));
+    result.add("total_gflop",
+               static_cast<double>(lowered.total_flops()) / 1e9, "GFLOP");
+    result.add("gb_moved",
+               static_cast<double>(lowered.total_bytes) / 1e9, "GB");
+    add_system_metrics(result, timing);
+    // Per-op share of the lowered FLOPs, so report --compare shows which
+    // op a regression concentrates in.
+    for (const graph::OpContribution& op : lowered.ops) {
+      result.add("op_flops_frac_" + metric_key(op.op), op.flops_frac);
+    }
+    add_observation_outputs(request, observation, result);
+    return result;
+  };
+  return s;
+}
+
 }  // namespace
+
+std::string fidelity_summary(const Scenario& scenario) {
+  const exp::ParamDecl* fidelity = scenario.schema.find("fidelity");
+  if (fidelity == nullptr) return "analytic (fixed)";
+  std::string summary;
+  for (const std::string& choice : fidelity->choices) {
+    if (!summary.empty()) summary += "|";
+    summary += choice;
+  }
+  return summary;
+}
 
 exp::Fidelity ScenarioRequest::fidelity() const {
   if (!params.has("fidelity")) return exp::Fidelity::kAnalytic;
@@ -1162,6 +1256,7 @@ ScenarioRegistry ScenarioRegistry::builtin() {
   registry.add(micro_dram_scenario());
   registry.add(speed_scenario());
   registry.add(serve_scenario());
+  registry.add(graph_scenario());
   return registry;
 }
 

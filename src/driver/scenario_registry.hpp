@@ -72,6 +72,11 @@ struct Scenario {
   }
 };
 
+// The fidelities a scenario accepts, as "analytic|detailed|..." from its
+// declared `fidelity` choices — "analytic (fixed)" for scenarios without
+// the parameter (no detailed machine). Printed by --list-scenarios.
+std::string fidelity_summary(const Scenario& scenario);
+
 class ScenarioRegistry {
  public:
   // Returns false (and leaves the registry unchanged) on a duplicate name.

@@ -1,0 +1,84 @@
+// Op lowering: a validated ModelGraph becomes a GemmPlus layer list.
+//
+// Each op kind has a lowering rule (the factory in lowering.cpp) mapping
+// it onto the wl::Workload representation every fidelity rung consumes —
+// the analytic SystemTimingModel, the detailed runner and the sampled
+// tile-space strata. Symbolic dims resolve against the LoweringOptions:
+// "batch" and "seq" directly, "tokens" to batch*seq_len in prefill and to
+// batch in decode (one new token per sequence, the KV cache holding the
+// rest). Rules (docs/GRAPHS.md has the full table):
+//
+//   gemm       one layer {m,n,k} from the A/B/C tensor dims
+//   linear     {tokens, out_features, in_features}
+//   conv2d     im2col: {out_ch, batch*oh*ow, in_ch*kernel^2}
+//   attention  <op>.qkv {T,3H,H} + .scores {T,S*heads,H/heads}
+//              + .context {T,H,S} + .proj {T,H,H}, T=tokens, S=seq span
+//   moe        <op>.router {T,experts,H} + per-expert .expert.ffn1/.ffn2
+//              with M=ceil(T*top_k/experts) and repeat=experts (the
+//              multiplicity the sampled strata weight by)
+//   elementwise/norm   fused as the PostOp of the producing GEMM layer
+//
+// The layer order is the topological schedule (graph/scheduler.hpp), and
+// per-op contributions report how much of the lowered work each manifest
+// op accounts for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/model_graph.hpp"
+#include "workloads/gemm_workload.hpp"
+
+namespace maco::graph {
+
+enum class Phase : std::uint8_t {
+  kPrefill,  // all tokens at once: M scales with batch*seq_len
+  kDecode,   // one token per sequence against the KV cache: M = batch
+};
+
+const char* phase_name(Phase phase) noexcept;
+// Throws GraphError on an unknown spelling.
+Phase parse_phase(const std::string& name);
+
+struct LoweringOptions {
+  std::uint64_t batch = 0;    // 0 = manifest default
+  std::uint64_t seq_len = 0;  // 0 = manifest default
+  Phase phase = Phase::kPrefill;
+  std::uint64_t moe_top_k = 0;  // 0 = op attr (itself defaulting to 2)
+};
+
+// How much of the lowered workload one manifest op accounts for.
+struct OpContribution {
+  std::string op;
+  OpKind kind = OpKind::kLinear;
+  std::size_t first_layer = 0;  // index into LoweredModel workload layers
+  std::size_t layer_count = 0;  // 0 for fused elementwise/norm ops
+  std::string fused_into;       // the absorbing layer's name, if fused
+  std::uint64_t flops = 0;      // including repeats
+  std::uint64_t bytes = 0;      // A+B+C traffic (fused ops: read+write)
+  double flops_frac = 0.0;      // share of the workload total
+};
+
+struct LoweredModel {
+  wl::Workload workload;  // layers in topological op order
+  std::vector<OpContribution> ops;
+  Phase phase = Phase::kPrefill;
+  std::uint64_t batch = 1;    // resolved (options or manifest default)
+  std::uint64_t seq_len = 1;  // resolved
+  std::uint64_t tokens = 1;   // batch*seq_len (prefill) or batch (decode)
+  std::uint64_t total_bytes = 0;
+
+  std::uint64_t total_flops() const noexcept {
+    return workload.total_flops();
+  }
+};
+
+// Lowers a validated graph. Throws GraphError when an option combination
+// is invalid (e.g. moe_top_k exceeding an op's expert count, or an
+// elementwise op whose input no GEMM layer produces).
+LoweredModel lower(const ModelGraph& graph,
+                   const LoweringOptions& options = {});
+
+}  // namespace maco::graph

@@ -1,0 +1,51 @@
+#include "graph/scheduler.hpp"
+
+#include <set>
+#include <string>
+
+namespace maco::graph {
+
+std::vector<std::size_t> topological_order(const ModelGraph& graph) {
+  const std::size_t count = graph.ops.size();
+  // consumers[p] = ops reading a tensor produced by op p.
+  std::vector<std::vector<std::size_t>> consumers(count);
+  std::vector<std::size_t> indegree(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const std::string& input : graph.ops[i].inputs) {
+      const std::size_t producer = graph.producer_of(input);
+      if (producer == ModelGraph::kNoProducer) continue;
+      consumers[producer].push_back(i);
+      ++indegree[i];
+    }
+  }
+
+  std::set<std::size_t> ready;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (indegree[i] == 0) ready.insert(i);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(count);
+  while (!ready.empty()) {
+    const std::size_t next = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(next);
+    for (const std::size_t consumer : consumers[next]) {
+      if (--indegree[consumer] == 0) ready.insert(consumer);
+    }
+  }
+
+  if (order.size() != count) {
+    // Some op never became ready: it sits on a cycle (or downstream of
+    // one). Name the first such op for the diagnostic.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (indegree[i] != 0) {
+        throw GraphError("dependency cycle through op '" +
+                         graph.ops[i].name + "'");
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace maco::graph

@@ -1,0 +1,22 @@
+// Topological scheduling of manifest ops.
+//
+// Lowering emits layers in dependency order: an op runs only after every
+// op producing one of its input tensors. Ties (independent ops) break by
+// manifest position, so a manifest that is already a chain — every legacy
+// model — lowers in exactly its written order, which is what makes the
+// generated layer lists bit-identical to the removed hard-coded ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/model_graph.hpp"
+
+namespace maco::graph {
+
+// Stable topological order of op indices (Kahn's algorithm, smallest
+// manifest index first among ready ops). Throws GraphError naming an op on
+// a dependency cycle.
+std::vector<std::size_t> topological_order(const ModelGraph& graph);
+
+}  // namespace maco::graph

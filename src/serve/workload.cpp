@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/builtin_models.hpp"
+#include "graph/lowering.hpp"
 #include "util/rng.hpp"
 #include "workloads/dnn_models.hpp"
 
@@ -144,10 +146,12 @@ std::vector<sa::TileShape> ServeModel::layers(unsigned batch) const {
   if (name == "tiny") {
     // A three-layer MLP over 16 tokens per request: small enough that one
     // batch fits the detailed machine (m = 16*batch <= 2048 for
-    // batch <= 128) yet batch-sensitive like the real models.
-    const std::uint64_t m = 16ull * batch;
-    return {sa::TileShape{m, 256, 256}, sa::TileShape{m, 1024, 256},
-            sa::TileShape{m, 256, 1024}};
+    // batch <= 128) yet batch-sensitive like the real models. The
+    // manifest's seq_len default of 16 supplies the per-request tokens.
+    graph::LoweringOptions options;
+    options.batch = batch;
+    return graph::lower(graph::builtin_graph("tiny"), options)
+        .workload.expanded_shapes();
   }
   if (name == "resnet50") return wl::resnet50(batch).expanded_shapes();
   if (name == "bert") {

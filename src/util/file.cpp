@@ -1,0 +1,39 @@
+#include "util/file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+namespace maco::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& reason) {
+  throw FileError("cannot read '" + path + "': " + reason);
+}
+
+}  // namespace
+
+std::string read_text_file(const std::string& path) {
+  // An ifstream happily "reads" a directory as empty on some platforms;
+  // catch that case explicitly so the diagnostic names the real problem.
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IFMT) == S_IFDIR) {
+    fail(path, "is a directory");
+  }
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(path, errno != 0 ? std::strerror(errno) : "cannot open");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {
+    fail(path, errno != 0 ? std::strerror(errno) : "read failed");
+  }
+  return text.str();
+}
+
+}  // namespace maco::util

@@ -1,0 +1,27 @@
+// Whole-file reading with one typed error path.
+//
+// Every subsystem that consumes a user-named file (the serve trace replay,
+// the graph manifest loader, the driver's trace/import subcommands) reports
+// a missing or unreadable file through the same exception with the same
+// message shape — "cannot read 'PATH': reason" — so a bad path looks
+// identical no matter which feature hit it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace maco::util {
+
+// Thrown by read_text_file; a runtime_error whose message already names
+// the file, so callers can surface it verbatim.
+class FileError : public std::runtime_error {
+ public:
+  explicit FileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Reads `path` into a string (binary mode: bytes as stored). Throws
+// FileError("cannot read 'PATH': reason") when the file is missing,
+// unreadable or a directory.
+std::string read_text_file(const std::string& path);
+
+}  // namespace maco::util

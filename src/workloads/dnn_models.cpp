@@ -1,103 +1,36 @@
 #include "workloads/dnn_models.hpp"
 
+#include "graph/builtin_models.hpp"
+#include "graph/lowering.hpp"
+
+// The model tables live in examples/models/*.json (embedded into the
+// library at build time) and lower through the graph frontend — the one
+// lowering path every model takes. tests/test_graph.cpp pins these layer
+// lists bit-identical to the pre-frontend hard-coded generators.
 namespace maco::wl {
 
 namespace {
 
-// Adds the GEMMs of one multi-head attention + FFN transformer block.
-void add_transformer_block(Workload& w, const std::string& prefix,
-                           std::uint64_t tokens, std::uint64_t hidden,
-                           std::uint64_t heads, unsigned repeat) {
-  const std::uint64_t head_dim = hidden / heads;
-  const std::uint64_t ffn = 4 * hidden;
-  // Fused QKV projection: [tokens, H] x [H, 3H].
-  w.layers.push_back(Layer{prefix + ".qkv",
-                           sa::TileShape{tokens, 3 * hidden, hidden},
-                           PostOp::kBiasAdd, repeat});
-  // Attention scores: per head [tokens, head_dim] x [head_dim, tokens],
-  // batched over heads -> aggregate GEMM volume tokens × tokens × hidden.
-  w.layers.push_back(Layer{prefix + ".scores",
-                           sa::TileShape{tokens, tokens * heads, head_dim},
-                           PostOp::kSoftmax, repeat});
-  // Context: scores x V, same aggregate volume.
-  w.layers.push_back(Layer{prefix + ".context",
-                           sa::TileShape{tokens, head_dim * heads, tokens},
-                           PostOp::kNone, repeat});
-  // Output projection.
-  w.layers.push_back(Layer{prefix + ".proj",
-                           sa::TileShape{tokens, hidden, hidden},
-                           PostOp::kLayerNorm, repeat});
-  // FFN.
-  w.layers.push_back(Layer{prefix + ".ffn1",
-                           sa::TileShape{tokens, ffn, hidden},
-                           PostOp::kGelu, repeat});
-  w.layers.push_back(Layer{prefix + ".ffn2",
-                           sa::TileShape{tokens, hidden, ffn},
-                           PostOp::kLayerNorm, repeat});
-}
-
-// conv -> GEMM: M = out_ch, N = batch*out_hw², K = in_ch*k².
-Layer conv(const std::string& name, unsigned batch, std::uint64_t out_ch,
-           std::uint64_t out_hw, std::uint64_t in_ch, std::uint64_t kernel,
-           unsigned repeat, PostOp post = PostOp::kRelu) {
-  return Layer{name,
-               sa::TileShape{out_ch, batch * out_hw * out_hw,
-                             in_ch * kernel * kernel},
-               post, repeat};
+Workload lower_builtin(const char* name, std::uint64_t batch,
+                       std::uint64_t seq_len) {
+  graph::LoweringOptions options;
+  options.batch = batch;
+  options.seq_len = seq_len;
+  return graph::lower(graph::builtin_graph(name), options).workload;
 }
 
 }  // namespace
 
 Workload resnet50(unsigned batch) {
-  Workload w;
-  w.name = "Resnet-50";
-  w.precision = sa::Precision::kFp32;
-  // Stage table from He et al.; strides folded into output sizes.
-  w.layers.push_back(conv("conv1", batch, 64, 112, 3, 7, 1));
-  // conv2_x: 3 bottleneck blocks at 56×56 (64-64-256).
-  w.layers.push_back(conv("conv2.reduce", batch, 64, 56, 256, 1, 2));
-  w.layers.push_back(conv("conv2.reduce0", batch, 64, 56, 64, 1, 1));
-  w.layers.push_back(conv("conv2.3x3", batch, 64, 56, 64, 3, 3));
-  w.layers.push_back(conv("conv2.expand", batch, 256, 56, 64, 1, 3));
-  // conv3_x: 4 blocks at 28×28 (128-128-512).
-  w.layers.push_back(conv("conv3.reduce", batch, 128, 28, 512, 1, 3));
-  w.layers.push_back(conv("conv3.reduce0", batch, 128, 28, 256, 1, 1));
-  w.layers.push_back(conv("conv3.3x3", batch, 128, 28, 128, 3, 4));
-  w.layers.push_back(conv("conv3.expand", batch, 512, 28, 128, 1, 4));
-  // conv4_x: 6 blocks at 14×14 (256-256-1024).
-  w.layers.push_back(conv("conv4.reduce", batch, 256, 14, 1024, 1, 5));
-  w.layers.push_back(conv("conv4.reduce0", batch, 256, 14, 512, 1, 1));
-  w.layers.push_back(conv("conv4.3x3", batch, 256, 14, 256, 3, 6));
-  w.layers.push_back(conv("conv4.expand", batch, 1024, 14, 256, 1, 6));
-  // conv5_x: 3 blocks at 7×7 (512-512-2048).
-  w.layers.push_back(conv("conv5.reduce", batch, 512, 7, 2048, 1, 2));
-  w.layers.push_back(conv("conv5.reduce0", batch, 512, 7, 1024, 1, 1));
-  w.layers.push_back(conv("conv5.3x3", batch, 512, 7, 512, 3, 3));
-  w.layers.push_back(conv("conv5.expand", batch, 2048, 7, 512, 1, 3));
-  // Final FC (per batch of 1×1 features).
-  w.layers.push_back(Layer{"fc", sa::TileShape{1000, batch, 2048},
-                           PostOp::kNone, 1});
-  return w;
+  return lower_builtin("resnet50-stage", batch, 1);
 }
 
 Workload bert_base(unsigned batch, unsigned seq_len) {
-  Workload w;
-  w.name = "BERT";
-  w.precision = sa::Precision::kFp32;
-  const std::uint64_t tokens =
-      static_cast<std::uint64_t>(batch) * seq_len;
-  add_transformer_block(w, "encoder", tokens, 768, 12, 12);
-  return w;
+  return lower_builtin("bert-block", batch, seq_len);
 }
 
 Workload gpt3(unsigned batch, unsigned seq_len) {
-  Workload w;
-  w.name = "GPT3";
-  w.precision = sa::Precision::kFp32;
-  const std::uint64_t tokens =
-      static_cast<std::uint64_t>(batch) * seq_len;
-  add_transformer_block(w, "decoder", tokens, 12288, 96, 96);
-  return w;
+  return lower_builtin("gpt3-block", batch, seq_len);
 }
 
 }  // namespace maco::wl

@@ -1,9 +1,12 @@
 // DNN inference workloads used in Fig. 8: ResNet-50, BERT and GPT-3, all in
 // FP32, expressed as GEMM layer sequences with their non-GEMM post-ops.
 //
-// Convolutions become GEMMs by im2col: M = output channels,
-// N = batch × output H × W, K = input channels × kernel H × W.
-// Attention blocks expand into QKV/score/context/projection/FFN GEMMs.
+// Since the graph frontend landed these are thin wrappers: each model is a
+// manifest under examples/models/ (embedded into the library at build
+// time) lowered by graph::lower(). Convolutions become GEMMs by im2col:
+// M = output channels, N = batch × output H × W, K = input channels ×
+// kernel H × W. Attention blocks expand into QKV/score/context/projection
+// GEMMs plus FFN linears. See docs/GRAPHS.md for the manifest format.
 #pragma once
 
 #include <cstdint>

@@ -308,6 +308,62 @@ TEST(Registry, AddRejectsDuplicateName) {
   EXPECT_EQ(registry.scenarios().size(), 1u);
 }
 
+TEST(Cli, ParsesGraphSubcommand) {
+  const CliParse validate =
+      parse_cli({"graph", "validate", "models/bert.json"});
+  ASSERT_TRUE(validate.ok) << validate.error;
+  EXPECT_EQ(validate.options.command, CliCommand::kGraphValidate);
+  EXPECT_EQ(validate.options.graph_file, "models/bert.json");
+
+  const CliParse show = parse_cli(
+      {"graph", "show", "models/gpt3.json", "--batch", "4", "--seq-len",
+       "128", "--phase", "decode", "--moe-top-k", "2", "-o", "out.txt"});
+  ASSERT_TRUE(show.ok) << show.error;
+  EXPECT_EQ(show.options.command, CliCommand::kGraphShow);
+  EXPECT_EQ(show.options.graph_file, "models/gpt3.json");
+  EXPECT_EQ(show.options.graph_batch, 4u);
+  EXPECT_EQ(show.options.graph_seq_len, 128u);
+  EXPECT_EQ(show.options.graph_phase, "decode");
+  EXPECT_EQ(show.options.graph_moe_top_k, 2u);
+  EXPECT_EQ(show.options.output_path, "out.txt");
+}
+
+TEST(Cli, GraphValidatesItsGrammar) {
+  // A subcommand and a manifest file are mandatory.
+  EXPECT_FALSE(parse_cli({"graph"}).ok);
+  EXPECT_FALSE(parse_cli({"graph", "lower", "x.json"}).ok);
+  EXPECT_FALSE(parse_cli({"graph", "validate"}).ok);
+  EXPECT_FALSE(parse_cli({"graph", "show"}).ok);
+  // Lowering overrides only apply to show.
+  EXPECT_FALSE(
+      parse_cli({"graph", "validate", "x.json", "--batch", "4"}).ok);
+  // Typed values are rejected in the parser, not at run time.
+  EXPECT_FALSE(
+      parse_cli({"graph", "show", "x.json", "--batch", "many"}).ok);
+  EXPECT_FALSE(
+      parse_cli({"graph", "show", "x.json", "--phase", "training"}).ok);
+  // --help needs no file.
+  EXPECT_TRUE(parse_cli({"graph", "--help"}).ok);
+  EXPECT_TRUE(parse_cli({"graph", "show", "--help"}).ok);
+}
+
+TEST(Registry, FidelitySummaryListsDeclaredChoices) {
+  const ScenarioRegistry registry = ScenarioRegistry::builtin();
+  const Scenario* gemm = registry.find("gemm");
+  ASSERT_NE(gemm, nullptr);
+  EXPECT_EQ(fidelity_summary(*gemm), "analytic|detailed|sampled");
+  const Scenario* graph = registry.find("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_EQ(fidelity_summary(*graph), "analytic|detailed|sampled");
+  const Scenario* serve = registry.find("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_EQ(fidelity_summary(*serve), "analytic|detailed");
+  // No fidelity parameter: the scenario always evaluates analytically.
+  const Scenario* area = registry.find("area_power");
+  ASSERT_NE(area, nullptr);
+  EXPECT_EQ(fidelity_summary(*area), "analytic (fixed)");
+}
+
 TEST(Registry, GemmDeclaresAllThreeFidelities) {
   const ScenarioRegistry registry = ScenarioRegistry::builtin();
   const Scenario* gemm = registry.find("gemm");
